@@ -1,0 +1,115 @@
+//! Micro-benchmarks of the simulator itself: the execution engine, the
+//! PMU commit path, the measurement interfaces, and the statistics
+//! routines. These establish that the simulation is cheap enough to run
+//! paper-scale sweeps (hundreds of thousands of measurements).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use counterlab::benchmark::Benchmark;
+use counterlab::config::MeasurementConfig;
+use counterlab::interface::{CountingMode, Interface};
+use counterlab::measure::run_measurement;
+use counterlab::pattern::Pattern;
+use counterlab_cpu::layout::CodePlacement;
+use counterlab_cpu::machine::{Machine, Privilege};
+use counterlab_cpu::mix::InstMix;
+use counterlab_cpu::pmu::{CountMode, Event, EventDelta, PmcConfig, Pmu};
+use counterlab_cpu::uarch::{Processor, ATHLON_K8};
+use counterlab_stats::anova::{Anova, Factor};
+use counterlab_stats::boxplot::BoxPlot;
+use counterlab_stats::regression::LinearFit;
+
+fn bench_machine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.bench_function("machine_boot", |b| {
+        b.iter(|| Machine::new(black_box(Processor::Core2Duo)))
+    });
+    g.bench_function("straight_mix_1k", |b| {
+        let mut m = Machine::new(Processor::AthlonK8);
+        let mix = InstMix::straight_line(1_000);
+        b.iter(|| m.execute_mix(black_box(&mix), Privilege::User))
+    });
+    g.bench_function("loop_1m_iters", |b| {
+        let mut m = Machine::new(Processor::AthlonK8);
+        let placement = CodePlacement::at(0x0804_9000);
+        b.iter(|| {
+            m.execute_loop(
+                black_box(&InstMix::LOOP_BODY),
+                1_000_000,
+                placement,
+                Privilege::User,
+            )
+        })
+    });
+    g.bench_function("pmu_commit", |b| {
+        let mut pmu = Pmu::new(&ATHLON_K8);
+        for i in 0..4 {
+            pmu.program(
+                i,
+                PmcConfig::counting(Event::InstructionsRetired, CountMode::UserAndKernel),
+            )
+            .unwrap();
+        }
+        let delta = EventDelta {
+            instructions: 100,
+            cycles: 80,
+            ..EventDelta::default()
+        };
+        b.iter(|| pmu.commit(black_box(&delta), Privilege::User))
+    });
+    g.finish();
+}
+
+fn bench_measurement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("measurement");
+    g.sample_size(40);
+    for interface in [
+        Interface::Pm,
+        Interface::Pc,
+        Interface::PLpm,
+        Interface::PHpc,
+    ] {
+        g.bench_function(format!("null_{}", interface.code()), |b| {
+            let cfg = MeasurementConfig::new(Processor::Core2Duo, interface)
+                .with_mode(CountingMode::UserKernel);
+            b.iter(|| run_measurement(black_box(&cfg), Benchmark::Null).expect("measure"))
+        });
+    }
+    g.bench_function("loop_1m_pm", |b| {
+        let cfg = MeasurementConfig::new(Processor::Core2Duo, Interface::Pm)
+            .with_pattern(Pattern::ReadRead)
+            .with_mode(CountingMode::UserKernel);
+        b.iter(|| {
+            run_measurement(black_box(&cfg), Benchmark::Loop { iters: 1_000_000 }).expect("measure")
+        })
+    });
+    g.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stats");
+    let data: Vec<f64> = (0..10_000).map(|i| ((i * 37) % 1000) as f64).collect();
+    g.bench_function("boxplot_10k", |b| {
+        b.iter(|| BoxPlot::from_slice(black_box(&data)).expect("boxplot"))
+    });
+    let xs: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+    g.bench_function("regression_10k", |b| {
+        b.iter(|| LinearFit::fit(black_box(&xs), black_box(&data)).expect("fit"))
+    });
+    g.bench_function("anova_1k", |b| {
+        b.iter(|| {
+            let mut a = Anova::new(vec![
+                Factor::new("f1", ["a", "b", "c"]),
+                Factor::new("f2", ["x", "y"]),
+            ]);
+            for i in 0..1_000usize {
+                a.add(&[i % 3, i % 2], (i % 17) as f64).unwrap();
+            }
+            a.run().expect("anova")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_machine, bench_measurement, bench_stats);
+criterion_main!(benches);

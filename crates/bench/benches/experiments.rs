@@ -1,0 +1,115 @@
+//! Criterion benches: one group per paper table/figure, timing the full
+//! regeneration pipeline at smoke scale. These serve two purposes: they
+//! are the entry points named in DESIGN.md's experiment index, and they
+//! keep the experiment code paths exercised under `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use counterlab::experiments::{
+    anova, cycles, duration, infrastructure, overview, registers, tables, tsc,
+};
+use counterlab::interface::CountingMode;
+use counterlab_cpu::uarch::Processor;
+
+fn bench_tables(c: &mut Criterion) {
+    c.bench_function("table1_processors", |b| b.iter(tables::table1));
+    c.bench_function("table2_patterns", |b| b.iter(tables::table2));
+    c.bench_function("fig3_loop_model", |b| b.iter(tables::fig3));
+}
+
+fn bench_fig1_overview(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_overview");
+    g.sample_size(10);
+    g.bench_function("full_null_grid", |b| {
+        b.iter(|| overview::run(1).expect("fig1"))
+    });
+    g.finish();
+}
+
+fn bench_fig4_tsc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_tsc");
+    g.sample_size(10);
+    g.bench_function("cd_tsc_matrix", |b| {
+        b.iter(|| tsc::run(Processor::Core2Duo, 1).expect("fig4"))
+    });
+    g.finish();
+}
+
+fn bench_fig5_registers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_registers");
+    g.sample_size(10);
+    g.bench_function("k8_register_sweep", |b| {
+        b.iter(|| registers::run(Processor::AthlonK8, 1).expect("fig5"))
+    });
+    g.finish();
+}
+
+fn bench_fig6_table3_infrastructure(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_table3_infrastructure");
+    g.sample_size(10);
+    g.bench_function("best_pattern_search", |b| {
+        b.iter(|| infrastructure::run(1).expect("fig6"))
+    });
+    g.finish();
+}
+
+fn bench_fig7_fig8_duration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_fig8_duration");
+    g.sample_size(10);
+    let sizes = [100_000u64, 1_000_000];
+    g.bench_function("user_kernel_slopes", |b| {
+        b.iter(|| duration::run_slopes(CountingMode::UserKernel, &sizes, 2, 250).expect("fig7"))
+    });
+    g.bench_function("user_slopes", |b| {
+        b.iter(|| duration::run_slopes(CountingMode::User, &sizes, 2, 250).expect("fig8"))
+    });
+    g.finish();
+}
+
+fn bench_fig9_kernel_instr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_kernel_instr");
+    g.sample_size(10);
+    g.bench_function("pc_cd_by_loop_size", |b| {
+        b.iter(|| {
+            duration::run_fig9(Processor::Core2Duo, &[1, 500_000, 1_000_000], 10).expect("fig9")
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig10_12_cycles(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_12_cycles");
+    g.sample_size(10);
+    let sizes = [200_000u64, 600_000, 1_000_000];
+    g.bench_function("fig10_scatter", |b| {
+        b.iter(|| cycles::run_fig10(&sizes, 1).expect("fig10"))
+    });
+    g.bench_function("fig11_bimodality", |b| {
+        b.iter(|| cycles::run_fig11(&sizes, 1).expect("fig11"))
+    });
+    g.bench_function("fig12_panels", |b| {
+        b.iter(|| cycles::run_fig12(&sizes, 1).expect("fig12"))
+    });
+    g.finish();
+}
+
+fn bench_anova(c: &mut Criterion) {
+    let mut g = c.benchmark_group("anova");
+    g.sample_size(10);
+    g.bench_function("five_factor", |b| b.iter(|| anova::run(2).expect("anova")));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tables,
+    bench_fig1_overview,
+    bench_fig4_tsc,
+    bench_fig5_registers,
+    bench_fig6_table3_infrastructure,
+    bench_fig7_fig8_duration,
+    bench_fig9_kernel_instr,
+    bench_fig10_12_cycles,
+    bench_anova
+);
+criterion_main!(benches);

@@ -1,0 +1,218 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [--scale quick|standard|paper] [--out DIR] COMMAND...
+//!
+//! Commands:
+//!   table1 table2 table3 fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9
+//!   fig10 fig11 fig12 anova ext-cache ext-multiplex csv all
+//!
+//! Ablations:
+//!   fig7 --no-timer        HZ=0: the duration slopes collapse
+//!   fig11 --single-build   one (pattern, -O) build: bimodality collapses
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use counterlab::experiments::{
+    anova, cache, cycles, duration, infrastructure, multiplexing, overview, registers, tables, tsc,
+};
+use counterlab::interface::CountingMode;
+use counterlab::report;
+use counterlab_bench::{Output, Scale};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("repro: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut scale = Scale::standard();
+    let mut out_dir: Option<PathBuf> = None;
+    let mut commands: Vec<String> = Vec::new();
+    let mut no_timer = false;
+    let mut single_build = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                let name = args.get(i).ok_or("--scale needs a value")?;
+                scale = Scale::from_name(name)
+                    .ok_or_else(|| format!("unknown scale {name} (quick|standard|paper)"))?;
+            }
+            "--out" => {
+                i += 1;
+                out_dir = Some(PathBuf::from(args.get(i).ok_or("--out needs a value")?));
+            }
+            "--no-timer" => no_timer = true,
+            "--single-build" => single_build = true,
+            "--help" | "-h" => {
+                println!("{}", HELP);
+                return Ok(());
+            }
+            cmd => commands.push(cmd.to_string()),
+        }
+        i += 1;
+    }
+    if commands.is_empty() {
+        println!("{}", HELP);
+        return Ok(());
+    }
+
+    let output = Output::new(out_dir.as_deref()).map_err(|e| e.to_string())?;
+    let all = commands.iter().any(|c| c == "all");
+    let want = |c: &str| all || commands.iter().any(|x| x == c);
+
+    if want("table1") {
+        output.emit("table1.txt", &tables::table1()).map_err(err)?;
+    }
+    if want("table2") {
+        output.emit("table2.txt", &tables::table2()).map_err(err)?;
+    }
+    if want("fig3") {
+        output.emit("fig3.txt", &tables::fig3()).map_err(err)?;
+    }
+    if want("fig1") {
+        let o = overview::run(scale.grid_reps).map_err(err)?;
+        output.emit("fig1.txt", &o.render()).map_err(err)?;
+    }
+    if want("fig4") {
+        let f = tsc::run(core2(), scale.grid_reps).map_err(err)?;
+        output.emit("fig4.txt", &f.render()).map_err(err)?;
+    }
+    if want("fig5") {
+        let f = registers::run(k8(), scale.grid_reps).map_err(err)?;
+        output.emit("fig5.txt", &f.render()).map_err(err)?;
+    }
+    if want("fig6") || want("table3") {
+        let f = infrastructure::run(scale.grid_reps).map_err(err)?;
+        if want("table3") {
+            output.emit("table3.txt", &f.render_table3()).map_err(err)?;
+        }
+        if want("fig6") {
+            output.emit("fig6.txt", &f.render_fig6()).map_err(err)?;
+        }
+    }
+    if want("fig7") {
+        let hz = if no_timer { 0 } else { 250 };
+        let f = duration::run_slopes(
+            CountingMode::UserKernel,
+            &duration::DEFAULT_SIZES,
+            scale.duration_reps,
+            hz,
+        )
+        .map_err(err)?;
+        output.emit("fig7.txt", &f.render()).map_err(err)?;
+    }
+    if want("fig8") {
+        let f = duration::run_slopes(
+            CountingMode::User,
+            &duration::DEFAULT_SIZES,
+            scale.duration_reps,
+            250,
+        )
+        .map_err(err)?;
+        output.emit("fig8.txt", &f.render()).map_err(err)?;
+    }
+    if want("fig9") {
+        let f = duration::run_fig9(core2(), &duration::FIG9_SIZES, scale.fig9_reps).map_err(err)?;
+        output.emit("fig9.txt", &f.render()).map_err(err)?;
+    }
+    if want("fig10") {
+        let f = cycles::run_fig10(&cycles::CYCLE_SIZES, scale.cycle_reps).map_err(err)?;
+        output.emit("fig10.txt", &f.render()).map_err(err)?;
+    }
+    if want("fig11") {
+        let f = cycles::run_fig11(&cycles::CYCLE_SIZES, scale.cycle_reps).map_err(err)?;
+        let mut text = f.render();
+        if single_build {
+            // Ablation: restrict to one build — the groups collapse.
+            let one: Vec<_> = f
+                .group_2i
+                .iter()
+                .chain(f.group_3i.iter())
+                .filter(|p| {
+                    p.pattern == counterlab::pattern::Pattern::StartRead
+                        && p.opt_level == counterlab::config::OptLevel::O2
+                })
+                .collect();
+            let cpis: Vec<f64> = one.iter().map(|p| p.cpi()).collect();
+            let lo = cpis.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = cpis.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            text.push_str(&format!(
+                "\nAblation (single build start-read/-O2): cycles/iteration \
+                 range {lo:.3}..{hi:.3} — one class, no bimodality.\n"
+            ));
+        }
+        output.emit("fig11.txt", &text).map_err(err)?;
+    }
+    if want("fig12") {
+        let f = cycles::run_fig12(&cycles::CYCLE_SIZES, scale.cycle_reps).map_err(err)?;
+        output.emit("fig12.txt", &f.render()).map_err(err)?;
+    }
+    if want("anova") {
+        let f = anova::run(scale.grid_reps.max(3)).map_err(err)?;
+        output.emit("anova.txt", &f.render()).map_err(err)?;
+    }
+    if want("ext-cache") {
+        let f = cache::run(k8(), 1_600_000, scale.grid_reps.max(4)).map_err(err)?;
+        output.emit("ext-cache.txt", &f.render()).map_err(err)?;
+    }
+    if want("ext-multiplex") {
+        let f = multiplexing::run(8, 250_000).map_err(err)?;
+        output.emit("ext-multiplex.txt", &f.render()).map_err(err)?;
+    }
+    if want("csv") {
+        let grid = counterlab::grid::Grid::full_null(scale.grid_reps);
+        let records = grid.run().map_err(err)?;
+        output
+            .write_only("full_grid.csv", &report::records_to_csv(&records))
+            .map_err(err)?;
+        println!("wrote full_grid.csv ({} records)", records.len());
+    }
+    Ok(())
+}
+
+fn err(e: impl std::fmt::Display) -> String {
+    e.to_string()
+}
+
+fn core2() -> counterlab::cpu::uarch::Processor {
+    counterlab::cpu::uarch::Processor::Core2Duo
+}
+
+fn k8() -> counterlab::cpu::uarch::Processor {
+    counterlab::cpu::uarch::Processor::AthlonK8
+}
+
+const HELP: &str = "\
+repro — regenerate the tables and figures of
+'Accuracy of Performance Counter Measurements' (ISPASS 2009)
+
+USAGE:
+  repro [--scale quick|standard|paper] [--out DIR] COMMAND...
+
+COMMANDS:
+  table1 table2 table3          the paper's tables
+  fig1 fig3 fig4 fig5 fig6      fixed-cost error figures
+  fig7 fig8 fig9                duration-dependent error figures
+  fig10 fig11 fig12             cycle-count figures
+  anova                         the Section 4.3 analysis of variance
+  ext-cache                     extension: d-cache miss accuracy (Korn-style)
+  ext-multiplex                 extension: multiplexed counting accuracy
+  csv                           dump the full null grid as CSV
+  all                           everything above
+
+ABLATIONS:
+  fig7 --no-timer               disable the timer interrupt (slopes -> 0)
+  fig11 --single-build          restrict to one build (bimodality collapses)
+";

@@ -1,0 +1,189 @@
+//! The micro-benchmarks of §3.4.
+//!
+//! The paper's ground truth comes from benchmarks whose true event counts
+//! are statically known:
+//!
+//! * the **null benchmark** — an empty block, exactly 0 instructions: any
+//!   non-zero measurement is error;
+//! * the **loop benchmark** (Figure 3) — gcc inline assembly of
+//!   `movl $0,%eax; .loop: addl $1,%eax; cmpl $MAX,%eax; jne .loop`,
+//!   exactly `1 + 3·MAX` instructions.
+//!
+//! We add a third, in the spirit of Korn et al.'s array-walk, as an
+//! extension: a memory-touching loop for cache-event experiments.
+
+use counterlab_cpu::layout::CodePlacement;
+use counterlab_cpu::mix::{InstMix, MixBuilder};
+use counterlab_kernel::system::System;
+
+/// A micro-benchmark with statically known event counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// The empty benchmark: zero instructions (§3.4).
+    Null,
+    /// The loop benchmark of Figure 3 with `iters` iterations:
+    /// `1 + 3·iters` instructions.
+    Loop {
+        /// Number of loop iterations (the `MAX` macro).
+        iters: u64,
+    },
+    /// An array-walking loop (extension, after Korn et al.): per iteration
+    /// one load is added to the Figure 3 body, `1 + 4·iters` instructions.
+    ArrayWalk {
+        /// Number of loop iterations.
+        iters: u64,
+    },
+}
+
+impl Benchmark {
+    /// Short stable name (used in build fingerprints and reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Benchmark::Null => "null",
+            Benchmark::Loop { .. } => "loop",
+            Benchmark::ArrayWalk { .. } => "arraywalk",
+        }
+    }
+
+    /// The exact number of user-mode instructions this benchmark retires —
+    /// the paper's analytical model (`ie = 1 + 3l` for the loop).
+    pub fn expected_instructions(&self) -> u64 {
+        match self {
+            Benchmark::Null => 0,
+            Benchmark::Loop { iters } => 1 + 3 * iters,
+            Benchmark::ArrayWalk { iters } => 1 + 4 * iters,
+        }
+    }
+
+    /// The loop iteration count (0 for the null benchmark).
+    pub fn iterations(&self) -> u64 {
+        match self {
+            Benchmark::Null => 0,
+            Benchmark::Loop { iters } | Benchmark::ArrayWalk { iters } => *iters,
+        }
+    }
+
+    /// The loop body mix (`None` for the null benchmark).
+    pub fn body(&self) -> Option<InstMix> {
+        match self {
+            Benchmark::Null => None,
+            Benchmark::Loop { .. } => Some(InstMix::LOOP_BODY),
+            Benchmark::ArrayWalk { .. } => {
+                Some(MixBuilder::new().alu(2).loads(1).branches(1, 1).build())
+            }
+        }
+    }
+
+    /// Executes the benchmark in user mode at the given code placement.
+    /// The null benchmark executes nothing at all.
+    pub fn run(&self, sys: &mut System, placement: CodePlacement) {
+        match self {
+            Benchmark::Null => {}
+            Benchmark::Loop { iters } | Benchmark::ArrayWalk { iters } => {
+                sys.run_user_mix(&InstMix::LOOP_PROLOGUE);
+                let body = self.body().expect("loop benchmarks have a body");
+                sys.run_user_loop(&body, *iters, placement);
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Benchmark::Null => write!(f, "null"),
+            Benchmark::Loop { iters } => write!(f, "loop({iters})"),
+            Benchmark::ArrayWalk { iters } => write!(f, "arraywalk({iters})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use counterlab_cpu::pmu::{CountMode, Event, PmcConfig};
+    use counterlab_cpu::uarch::Processor;
+    use counterlab_kernel::config::{KernelConfig, SkidModel};
+
+    fn quiet_sys() -> System {
+        System::new(
+            Processor::AthlonK8,
+            KernelConfig::default()
+                .with_hz(0)
+                .with_skid(SkidModel::disabled()),
+        )
+    }
+
+    #[test]
+    fn expected_counts_match_paper_model() {
+        assert_eq!(Benchmark::Null.expected_instructions(), 0);
+        assert_eq!(Benchmark::Loop { iters: 0 }.expected_instructions(), 1);
+        assert_eq!(
+            Benchmark::Loop { iters: 1000 }.expected_instructions(),
+            3001
+        );
+        assert_eq!(
+            Benchmark::Loop { iters: 1_000_000 }.expected_instructions(),
+            3_000_001
+        );
+    }
+
+    #[test]
+    fn run_retires_exactly_expected_user_instructions() {
+        for bench in [
+            Benchmark::Null,
+            Benchmark::Loop { iters: 1 },
+            Benchmark::Loop { iters: 12345 },
+            Benchmark::ArrayWalk { iters: 100 },
+        ] {
+            let mut sys = quiet_sys();
+            sys.machine_mut()
+                .pmu_mut()
+                .program(
+                    0,
+                    PmcConfig::counting(Event::InstructionsRetired, CountMode::UserOnly),
+                )
+                .unwrap();
+            bench.run(&mut sys, CodePlacement::at(0x0804_9000));
+            assert_eq!(
+                sys.machine().pmu().read_pmc(0).unwrap(),
+                bench.expected_instructions(),
+                "{bench}"
+            );
+        }
+    }
+
+    #[test]
+    fn null_benchmark_touches_nothing() {
+        let mut sys = quiet_sys();
+        let c0 = sys.machine().cycle();
+        Benchmark::Null.run(&mut sys, CodePlacement::at(0x0804_9000));
+        assert_eq!(sys.machine().cycle(), c0);
+    }
+
+    #[test]
+    fn names_and_display() {
+        assert_eq!(Benchmark::Null.name(), "null");
+        assert_eq!(Benchmark::Loop { iters: 5 }.to_string(), "loop(5)");
+        assert_eq!(Benchmark::ArrayWalk { iters: 2 }.name(), "arraywalk");
+    }
+
+    #[test]
+    fn bodies() {
+        assert!(Benchmark::Null.body().is_none());
+        assert_eq!(
+            Benchmark::Loop { iters: 1 }
+                .body()
+                .unwrap()
+                .total_instructions(),
+            3
+        );
+        assert_eq!(
+            Benchmark::ArrayWalk { iters: 1 }
+                .body()
+                .unwrap()
+                .total_instructions(),
+            4
+        );
+    }
+}

@@ -1,0 +1,102 @@
+use std::error::Error;
+use std::fmt;
+
+use counterlab_kernel::KernelError;
+use counterlab_papi::PapiError;
+use counterlab_perfctr::PerfctrError;
+use counterlab_perfmon::PerfmonError;
+use counterlab_stats::StatsError;
+
+/// Errors from the measurement methodology layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Failure in one of the counter-access interfaces.
+    Interface(String),
+    /// Statistical analysis failure.
+    Stats(StatsError),
+    /// The requested pattern is not supported by the interface (e.g. the
+    /// PAPI high-level API cannot do read-read, §3.5).
+    UnsupportedPattern {
+        /// The interface's code (e.g. `"PHpm"`).
+        interface: &'static str,
+        /// The pattern's code (e.g. `"rr"`).
+        pattern: &'static str,
+    },
+    /// A configuration asked for something impossible (e.g. more counters
+    /// than the processor has, TSC off on a non-perfctr interface).
+    InvalidConfig(String),
+    /// An experiment produced no data (e.g. empty grid).
+    NoData(&'static str),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Interface(e) => write!(f, "interface error: {e}"),
+            CoreError::Stats(e) => write!(f, "stats error: {e}"),
+            CoreError::UnsupportedPattern { interface, pattern } => {
+                write!(f, "{interface} does not support the {pattern} pattern")
+            }
+            CoreError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
+            CoreError::NoData(what) => write!(f, "experiment produced no data: {what}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StatsError> for CoreError {
+    fn from(e: StatsError) -> Self {
+        CoreError::Stats(e)
+    }
+}
+
+impl From<PerfctrError> for CoreError {
+    fn from(e: PerfctrError) -> Self {
+        CoreError::Interface(e.to_string())
+    }
+}
+
+impl From<PerfmonError> for CoreError {
+    fn from(e: PerfmonError) -> Self {
+        CoreError::Interface(e.to_string())
+    }
+}
+
+impl From<PapiError> for CoreError {
+    fn from(e: PapiError) -> Self {
+        CoreError::Interface(e.to_string())
+    }
+}
+
+impl From<KernelError> for CoreError {
+    fn from(e: KernelError) -> Self {
+        CoreError::Interface(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = CoreError::UnsupportedPattern {
+            interface: "PHpm",
+            pattern: "rr",
+        };
+        assert!(e.to_string().contains("PHpm"));
+        assert!(e.to_string().contains("rr"));
+        assert!(CoreError::NoData("fig1").to_string().contains("fig1"));
+        let s = CoreError::from(StatsError::EmptyInput);
+        assert!(Error::source(&s).is_some());
+    }
+}

@@ -1,0 +1,158 @@
+//! §4.3: “Factors Affecting Accuracy” — the n-way analysis of variance.
+//!
+//! The paper: “We used the processor, measurement infrastructure, access
+//! pattern, compiler optimization level, and the number of used counter
+//! registers as factors and the instruction count as the response
+//! variable. We have found that all factors but the optimization level are
+//! statistically significant (Pr(>F) < 2·10⁻¹⁶).”
+
+use counterlab_cpu::pmu::Event;
+use counterlab_cpu::uarch::Processor;
+use counterlab_stats::anova::{Anova, AnovaTable, Factor};
+
+use crate::benchmark::Benchmark;
+use crate::config::OptLevel;
+use crate::grid::Grid;
+use crate::interface::{CountingMode, Interface};
+use crate::pattern::Pattern;
+use crate::Result;
+
+/// The ANOVA experiment result.
+#[derive(Debug, Clone)]
+pub struct AnovaExperiment {
+    /// The fitted table.
+    pub table: AnovaTable,
+    /// Number of measurements analyzed.
+    pub measurements: usize,
+}
+
+/// Factor names in the order they are declared.
+pub const FACTORS: [&str; 5] = [
+    "processor",
+    "infrastructure",
+    "pattern",
+    "opt_level",
+    "registers",
+];
+
+/// Runs the §4.3 ANOVA on the null benchmark's user+kernel instruction
+/// error with `reps` replicate runs per cell.
+///
+/// # Errors
+///
+/// Propagates grid and ANOVA failures.
+pub fn run(reps: usize) -> Result<AnovaExperiment> {
+    let mut grid = Grid::new(Benchmark::Null);
+    grid.processors = Processor::ALL.to_vec();
+    grid.interfaces = Interface::ALL.to_vec();
+    grid.patterns = Pattern::ALL.to_vec();
+    grid.opt_levels = OptLevel::ALL.to_vec();
+    grid.counter_counts = vec![1, 2, 3, 4];
+    grid.tsc_settings = vec![true];
+    grid.modes = vec![CountingMode::UserKernel];
+    grid.event = Event::InstructionsRetired;
+    grid.reps = reps.max(2);
+    let records = grid.run()?;
+
+    let mut anova = Anova::new(vec![
+        Factor::new(FACTORS[0], Processor::ALL.iter().map(|p| p.code())),
+        Factor::new(FACTORS[1], Interface::ALL.iter().map(|i| i.code())),
+        Factor::new(FACTORS[2], Pattern::ALL.iter().map(|p| p.code())),
+        Factor::new(FACTORS[3], OptLevel::ALL.iter().map(|o| o.flag())),
+        Factor::new(FACTORS[4], ["1", "2", "3", "4"]),
+    ]);
+    for r in &records {
+        let levels = [
+            Processor::ALL
+                .iter()
+                .position(|p| *p == r.config.processor)
+                .expect("known processor"),
+            Interface::ALL
+                .iter()
+                .position(|i| *i == r.config.interface)
+                .expect("known interface"),
+            Pattern::ALL
+                .iter()
+                .position(|p| *p == r.config.pattern)
+                .expect("known pattern"),
+            OptLevel::ALL
+                .iter()
+                .position(|o| *o == r.config.opt_level)
+                .expect("known level"),
+            r.config.counters - 1,
+        ];
+        anova.add(&levels, r.error() as f64)?;
+    }
+    let table = anova.run()?;
+    Ok(AnovaExperiment {
+        table,
+        measurements: records.len(),
+    })
+}
+
+impl AnovaExperiment {
+    /// Whether the experiment reproduces the paper's conclusion: all
+    /// factors but the optimization level significant.
+    pub fn matches_paper(&self, alpha: f64) -> bool {
+        let significant = |name: &str| {
+            self.table
+                .row(name)
+                .map(|r| r.significant_at(alpha))
+                .unwrap_or(false)
+        };
+        significant("processor")
+            && significant("infrastructure")
+            && significant("pattern")
+            && significant("registers")
+            && !significant("opt_level")
+    }
+
+    /// Renders the ANOVA table.
+    pub fn render(&self) -> String {
+        format!(
+            "Section 4.3: n-way ANOVA of the user+kernel instruction error\n\
+             ({} measurements)\n\n{}\n\
+             paper's conclusion (all factors but -O significant): {}\n",
+            self.measurements,
+            self.table,
+            if self.matches_paper(0.001) {
+                "REPRODUCED"
+            } else {
+                "NOT reproduced"
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_factors_but_opt_level_significant() {
+        let exp = run(3).unwrap();
+        for name in ["processor", "infrastructure", "pattern", "registers"] {
+            let row = exp.table.row(name).unwrap();
+            assert!(
+                row.p_value < 1e-12,
+                "{name}: Pr(>F) = {} should be < 2e-16-ish",
+                row.p_value
+            );
+        }
+        let opt = exp.table.row("opt_level").unwrap();
+        assert!(
+            opt.p_value > 0.01,
+            "opt_level: Pr(>F) = {} should be insignificant",
+            opt.p_value
+        );
+        assert!(exp.matches_paper(0.001));
+    }
+
+    #[test]
+    fn render_mentions_verdict() {
+        let exp = run(2).unwrap();
+        let text = exp.render();
+        assert!(text.contains("ANOVA"));
+        assert!(text.contains("REPRODUCED"));
+    }
+}

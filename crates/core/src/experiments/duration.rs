@@ -1,0 +1,405 @@
+//! Figures 7–9: “Error Depends on Duration” (§5).
+//!
+//! The loop benchmark is run at increasing iteration counts; the error
+//! `i∆ = im − ie` (measured minus the `1 + 3l` model) is regressed against
+//! `l`. The slope is the per-iteration error:
+//!
+//! * Figure 7 — user+kernel mode: positive slopes (~0.001–0.003
+//!   instructions/iteration) caused by timer-interrupt handlers;
+//! * Figure 8 — user mode: slopes several orders of magnitude smaller,
+//!   positive or negative (boundary skid);
+//! * Figure 9 — kernel-only counts for perfctr on the Core 2 Duo,
+//!   distribution by loop size, cross-checking the 0.002 slope.
+
+use counterlab_cpu::uarch::Processor;
+use counterlab_stats::boxplot::BoxPlot;
+use counterlab_stats::regression::LinearFit;
+
+use crate::benchmark::Benchmark;
+use crate::config::MeasurementConfig;
+use crate::interface::{CountingMode, Interface};
+use crate::measure::{run_measurement, Record};
+use crate::pattern::Pattern;
+use crate::report;
+use crate::{CoreError, Result};
+
+/// Default loop sizes for the slope experiments. The paper's figures show
+/// up to one million iterations; it verified loops up to one billion
+/// change nothing, so we extend to five million for tighter slope
+/// estimates (several timer ticks per run).
+pub const DEFAULT_SIZES: [u64; 8] = [
+    1_000, 10_000, 100_000, 250_000, 500_000, 1_000_000, 2_000_000, 5_000_000,
+];
+
+/// Loop sizes of Figure 9's x axis.
+pub const FIG9_SIZES: [u64; 9] = [
+    1, 25_000, 50_000, 75_000, 100_000, 250_000, 500_000, 750_000, 1_000_000,
+];
+
+/// One bar of Figure 7/8: the regression slope for an (interface,
+/// processor) pair.
+#[derive(Debug, Clone)]
+pub struct SlopeCell {
+    /// The interface.
+    pub interface: Interface,
+    /// The processor.
+    pub processor: Processor,
+    /// Error-per-iteration slope of the regression line.
+    pub slope: f64,
+    /// Intercept (absorbs the fixed access cost of §4).
+    pub intercept: f64,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+    /// Number of (loop size, error) points fitted.
+    pub points: usize,
+}
+
+/// The Figure 7 or Figure 8 data (distinguished by `mode`).
+#[derive(Debug, Clone)]
+pub struct DurationFigure {
+    /// Counting mode (user+kernel → Figure 7, user → Figure 8).
+    pub mode: CountingMode,
+    /// One cell per (interface, processor).
+    pub cells: Vec<SlopeCell>,
+}
+
+/// Runs the loop benchmark over `sizes` with `reps` repetitions per size
+/// for every (interface × processor), fitting the error-vs-iterations
+/// regression per pair.
+///
+/// # Errors
+///
+/// Propagates measurement and regression failures.
+pub fn run_slopes(
+    mode: CountingMode,
+    sizes: &[u64],
+    reps: usize,
+    hz: u32,
+) -> Result<DurationFigure> {
+    let mut cells = Vec::new();
+    for &interface in &Interface::ALL {
+        for &processor in &Processor::ALL {
+            let mut xs = Vec::new();
+            let mut ys = Vec::new();
+            for &size in sizes {
+                for rep in 0..reps.max(1) {
+                    // Per-cell seed decorrelation: every (interface,
+                    // processor, size, rep) run gets an independent timer
+                    // phase, as every paper run was a fresh process.
+                    let seed = 0xD0_0D
+                        ^ size.wrapping_mul(0x9E37_79B9)
+                        ^ ((rep as u64) << 17)
+                        ^ ((interface as u64) << 40)
+                        ^ ((processor as u64) << 47);
+                    let cfg = MeasurementConfig::new(processor, interface)
+                        .with_pattern(Pattern::StartRead)
+                        .with_mode(mode)
+                        .with_hz(hz)
+                        .with_seed(seed);
+                    let rec = run_measurement(&cfg, Benchmark::Loop { iters: size })?;
+                    xs.push(size as f64);
+                    ys.push(rec.error() as f64);
+                }
+            }
+            let fit = LinearFit::fit(&xs, &ys)?;
+            cells.push(SlopeCell {
+                interface,
+                processor,
+                slope: fit.slope(),
+                intercept: fit.intercept(),
+                r_squared: fit.r_squared(),
+                points: xs.len(),
+            });
+        }
+    }
+    Ok(DurationFigure { mode, cells })
+}
+
+impl DurationFigure {
+    /// The cell for an (interface, processor) pair.
+    pub fn cell(&self, interface: Interface, processor: Processor) -> Option<&SlopeCell> {
+        self.cells
+            .iter()
+            .find(|c| c.interface == interface && c.processor == processor)
+    }
+
+    /// Renders the figure as a slope table (the bar heights of Fig 7/8).
+    pub fn render(&self) -> String {
+        let title = match self.mode {
+            CountingMode::UserKernel => "Figure 7: User+Kernel Mode Errors",
+            CountingMode::User => "Figure 8: User Mode Errors",
+            CountingMode::Kernel => "Kernel Mode Error Slopes",
+        };
+        let rows: Vec<Vec<String>> = self
+            .cells
+            .iter()
+            .map(|c| {
+                vec![
+                    c.interface.to_string(),
+                    c.processor.to_string(),
+                    format!("{:+.7}", c.slope),
+                    format!("{:.1}", c.intercept),
+                    format!("{:.3}", c.r_squared),
+                ]
+            })
+            .collect();
+        format!(
+            "{title}\n(extra instructions per loop iteration)\n\n{}",
+            report::table(
+                &["infrastructure", "cpu", "slope", "intercept", "R^2"],
+                &rows
+            )
+        )
+    }
+}
+
+/// One box of Figure 9: the kernel-instruction distribution for a loop
+/// size.
+#[derive(Debug, Clone)]
+pub struct Fig9Box {
+    /// Loop size.
+    pub size: u64,
+    /// Kernel-instruction count distribution.
+    pub boxplot: BoxPlot,
+    /// Mean (the small square in the paper's figure).
+    pub mean: f64,
+}
+
+/// The Figure 9 data.
+#[derive(Debug, Clone)]
+pub struct Fig9 {
+    /// One box per loop size.
+    pub boxes: Vec<Fig9Box>,
+    /// Regression slope through all (size, kernel instructions) points —
+    /// the paper reports 0.00204 for pc on CD.
+    pub slope: f64,
+    /// Processor used.
+    pub processor: Processor,
+}
+
+/// Runs Figure 9: kernel-mode instruction counts by loop size for perfctr
+/// (`pc`) on the given processor, `reps` runs per size.
+///
+/// # Errors
+///
+/// Propagates measurement and statistics failures.
+pub fn run_fig9(processor: Processor, sizes: &[u64], reps: usize) -> Result<Fig9> {
+    let mut boxes = Vec::new();
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for &size in sizes {
+        let mut errors = Vec::with_capacity(reps);
+        for rep in 0..reps.max(2) {
+            let cfg = MeasurementConfig::new(processor, Interface::Pc)
+                .with_pattern(Pattern::StartRead)
+                .with_mode(CountingMode::Kernel)
+                .with_seed(0xF169 ^ size.wrapping_mul(1_000_003) ^ (rep as u64) << 20);
+            let rec = run_measurement(&cfg, Benchmark::Loop { iters: size })?;
+            errors.push(rec.error() as f64);
+            xs.push(size as f64);
+            ys.push(rec.error() as f64);
+        }
+        let boxplot = BoxPlot::from_slice(&errors)?;
+        let mean = boxplot.mean();
+        boxes.push(Fig9Box {
+            size,
+            boxplot,
+            mean,
+        });
+    }
+    if xs.is_empty() {
+        return Err(CoreError::NoData("fig9"));
+    }
+    let fit = LinearFit::fit(&xs, &ys)?;
+    Ok(Fig9 {
+        boxes,
+        slope: fit.slope(),
+        processor,
+    })
+}
+
+impl Fig9 {
+    /// Renders the figure.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Figure 9: Kernel Mode Instructions by Loop Size (pc on {})\n\
+             regression slope: {:.5} kernel instructions/iteration\n\n",
+            self.processor, self.slope
+        );
+        let rows: Vec<Vec<String>> = self
+            .boxes
+            .iter()
+            .map(|b| {
+                vec![
+                    b.size.to_string(),
+                    format!("{:.0}", b.mean),
+                    format!("{:.0}", b.boxplot.median()),
+                    format!("{:.0}", b.boxplot.q1()),
+                    format!("{:.0}", b.boxplot.q3()),
+                ]
+            })
+            .collect();
+        out.push_str(&report::table(
+            &["loop size", "mean", "median", "q1", "q3"],
+            &rows,
+        ));
+        out
+    }
+}
+
+/// Collects the raw records of a duration sweep (used by the CSV export
+/// and the benches).
+///
+/// # Errors
+///
+/// Propagates measurement failures.
+pub fn sweep_records(
+    interface: Interface,
+    processor: Processor,
+    mode: CountingMode,
+    sizes: &[u64],
+    reps: usize,
+) -> Result<Vec<Record>> {
+    let mut out = Vec::new();
+    for &size in sizes {
+        for rep in 0..reps.max(1) {
+            let cfg = MeasurementConfig::new(processor, interface)
+                .with_pattern(Pattern::StartRead)
+                .with_mode(mode)
+                .with_seed(0x517A_u64 ^ size ^ ((rep as u64) << 32));
+            out.push(run_measurement(&cfg, Benchmark::Loop { iters: size })?);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Long loops for slope tests: several timer ticks land in every run,
+    /// so the regression is low-variance. The paper verified that loops
+    /// beyond one million iterations “do not affect our conclusions”.
+    const LONG_SIZES: [u64; 4] = [2_000_000, 5_000_000, 10_000_000, 20_000_000];
+
+    #[test]
+    fn fig7_slopes_positive_and_in_range() {
+        let fig = run_slopes(CountingMode::UserKernel, &LONG_SIZES, 4, 250).unwrap();
+        assert_eq!(fig.cells.len(), 18);
+        for c in &fig.cells {
+            assert!(
+                c.slope > 0.0003,
+                "{}/{}: slope {} should be positive",
+                c.interface,
+                c.processor,
+                c.slope
+            );
+            assert!(
+                c.slope < 0.006,
+                "{}/{}: slope {} too large",
+                c.interface,
+                c.processor,
+                c.slope
+            );
+        }
+    }
+
+    #[test]
+    fn fig7_papi_level_does_not_matter() {
+        // “the error does not depend on whether we use the high level or
+        // low level infrastructure” (§5).
+        let fig = run_slopes(CountingMode::UserKernel, &LONG_SIZES, 4, 250).unwrap();
+        for p in Processor::ALL {
+            let pm = fig.cell(Interface::Pm, p).unwrap().slope;
+            let plpm = fig.cell(Interface::PLpm, p).unwrap().slope;
+            let phpm = fig.cell(Interface::PHpm, p).unwrap().slope;
+            let spread = (pm - plpm).abs().max((pm - phpm).abs());
+            assert!(
+                spread < 0.5 * pm.max(1e-9),
+                "{p}: pm {pm} PLpm {plpm} PHpm {phpm}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig8_slopes_tiny() {
+        let fig = run_slopes(CountingMode::User, &LONG_SIZES, 2, 250).unwrap();
+        for c in &fig.cells {
+            assert!(
+                c.slope.abs() < 1e-4,
+                "{}/{}: user slope {} should be ~0",
+                c.interface,
+                c.processor,
+                c.slope
+            );
+        }
+    }
+
+    #[test]
+    fn fig8_orders_of_magnitude_below_fig7() {
+        let f7 = run_slopes(CountingMode::UserKernel, &LONG_SIZES, 2, 250).unwrap();
+        let f8 = run_slopes(CountingMode::User, &LONG_SIZES, 2, 250).unwrap();
+        let avg7: f64 = f7.cells.iter().map(|c| c.slope.abs()).sum::<f64>() / f7.cells.len() as f64;
+        let avg8: f64 = f8.cells.iter().map(|c| c.slope.abs()).sum::<f64>() / f8.cells.len() as f64;
+        assert!(
+            avg8 * 50.0 < avg7,
+            "user slopes ({avg8}) must be orders below u+k ({avg7})"
+        );
+    }
+
+    #[test]
+    fn no_timer_ablation_kills_slope() {
+        let fig = run_slopes(CountingMode::UserKernel, &DEFAULT_SIZES, 2, 0).unwrap();
+        for c in &fig.cells {
+            assert!(
+                c.slope.abs() < 1e-5,
+                "{}/{}: slope {} with HZ=0",
+                c.interface,
+                c.processor,
+                c.slope
+            );
+        }
+    }
+
+    #[test]
+    fn fig9_slope_near_paper() {
+        // Paper: 0.00204 kernel instructions per iteration (pc on CD).
+        let fig = run_fig9(Processor::Core2Duo, &FIG9_SIZES, 120).unwrap();
+        assert!(
+            (0.0008..=0.0045).contains(&fig.slope),
+            "slope = {}",
+            fig.slope
+        );
+        // Mean kernel instructions grow with loop size.
+        let first = fig.boxes.first().unwrap().mean;
+        let last = fig.boxes.last().unwrap().mean;
+        assert!(last > first + 500.0, "first {first} last {last}");
+        // Order of the paper's ~2500 kernel instructions at 1M iterations.
+        assert!((800.0..=4_500.0).contains(&last), "mean at 1M = {last}");
+    }
+
+    #[test]
+    fn sweep_records_shape() {
+        let recs = sweep_records(
+            Interface::Pc,
+            Processor::Core2Duo,
+            CountingMode::UserKernel,
+            &[1_000, 100_000],
+            3,
+        )
+        .unwrap();
+        assert_eq!(recs.len(), 6);
+        assert!(recs.iter().all(|r| r.config.interface == Interface::Pc));
+        assert!(recs.iter().any(|r| r.benchmark.iterations() == 100_000));
+    }
+
+    #[test]
+    fn renders() {
+        let fig = run_slopes(CountingMode::UserKernel, &[1_000, 100_000], 1, 250).unwrap();
+        let text = fig.render();
+        assert!(text.contains("Figure 7"));
+        assert!(text.contains("slope"));
+        let f9 = run_fig9(Processor::Core2Duo, &[1, 500_000], 3).unwrap();
+        assert!(f9.render().contains("Figure 9"));
+    }
+}

@@ -1,0 +1,30 @@
+//! Reproductions of every table and figure in the paper's evaluation.
+//!
+//! Each submodule builds the workload, runs the parameter sweep, and
+//! renders the same rows/series the paper reports:
+//!
+//! | module | reproduces |
+//! |--------|------------|
+//! | [`tables`] | Table 1 (processors), Table 2 (patterns), Figure 3 (loop model) |
+//! | [`overview`] | Figure 1 (violin plots of all-configuration error) |
+//! | [`tsc`] | Figure 4 (perfctr TSC on/off) |
+//! | [`registers`] | Figure 5 (error vs number of counters) |
+//! | [`infrastructure`] | Figure 6 and Table 3 (error per interface) |
+//! | [`duration`] | Figures 7, 8, 9 (error vs benchmark duration) |
+//! | [`cycles`] | Figures 10, 11, 12 (cycle-count perturbation) |
+//! | [`anova`] | §4.3 (n-way ANOVA of the error factors) |
+//!
+//! Every experiment takes a repetition parameter so the full paper-scale
+//! sweep (hundreds of thousands of measurements) and a quick smoke run
+//! share one code path.
+
+pub mod anova;
+pub mod cache;
+pub mod cycles;
+pub mod duration;
+pub mod infrastructure;
+pub mod multiplexing;
+pub mod overview;
+pub mod registers;
+pub mod tables;
+pub mod tsc;

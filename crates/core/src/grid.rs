@@ -1,0 +1,270 @@
+//! The experiment grid: the full factorial sweep of §3.
+//!
+//! The paper's Figure 1 summarizes “over 170000 measurements performed on
+//! a large number of different infrastructures and configurations”.
+//! [`Grid`] enumerates such factorial spaces, skips impossible cells
+//! (high-level PAPI with read-first patterns, more counters than the
+//! processor has, TSC-off on non-perfctr stacks) and runs every cell with
+//! deterministic per-cell seeds.
+
+use counterlab_cpu::pmu::Event;
+use counterlab_cpu::uarch::Processor;
+
+use crate::benchmark::Benchmark;
+use crate::config::{MeasurementConfig, OptLevel};
+use crate::interface::{CountingMode, Interface};
+use crate::measure::{run_measurement, Record};
+use crate::pattern::Pattern;
+use crate::Result;
+
+/// A factorial experiment specification.
+#[derive(Debug, Clone)]
+pub struct Grid {
+    /// Processors to sweep.
+    pub processors: Vec<Processor>,
+    /// Interfaces to sweep.
+    pub interfaces: Vec<Interface>,
+    /// Patterns to sweep (unsupported combinations are skipped).
+    pub patterns: Vec<Pattern>,
+    /// Optimization levels to sweep.
+    pub opt_levels: Vec<OptLevel>,
+    /// Counter counts to sweep (cells exceeding a processor's registers
+    /// are skipped).
+    pub counter_counts: Vec<usize>,
+    /// TSC settings to sweep; `false` is only meaningful for `pc` and is
+    /// skipped elsewhere.
+    pub tsc_settings: Vec<bool>,
+    /// Counting modes to sweep.
+    pub modes: Vec<CountingMode>,
+    /// Measured event.
+    pub event: Event,
+    /// Benchmark to run in every cell.
+    pub benchmark: Benchmark,
+    /// Repetitions per cell (distinct seeds).
+    pub reps: usize,
+    /// Base seed; per-run seeds derive deterministically from it.
+    pub base_seed: u64,
+    /// Timer frequency.
+    pub hz: u32,
+}
+
+impl Grid {
+    /// A minimal single-cell grid, to be customized.
+    pub fn new(benchmark: Benchmark) -> Self {
+        Grid {
+            processors: vec![Processor::Core2Duo],
+            interfaces: vec![Interface::Pm],
+            patterns: vec![Pattern::StartRead],
+            opt_levels: vec![OptLevel::O2],
+            counter_counts: vec![1],
+            tsc_settings: vec![true],
+            modes: vec![CountingMode::User],
+            event: Event::InstructionsRetired,
+            benchmark,
+            reps: 1,
+            base_seed: 0x6121D,
+            hz: 250,
+        }
+    }
+
+    /// The full §3 space on the null benchmark: all processors, all six
+    /// interfaces, all patterns, all optimization levels, 1–4 counters,
+    /// both modes. `reps` scales the run count.
+    pub fn full_null(reps: usize) -> Self {
+        Grid {
+            processors: Processor::ALL.to_vec(),
+            interfaces: Interface::ALL.to_vec(),
+            patterns: Pattern::ALL.to_vec(),
+            opt_levels: OptLevel::ALL.to_vec(),
+            counter_counts: vec![1, 2, 3, 4],
+            // TSC off applies to the direct perfctr interface only (the
+            // grid skips it elsewhere), matching §4.1's sweep.
+            tsc_settings: vec![true, false],
+            modes: vec![CountingMode::User, CountingMode::UserKernel],
+            event: Event::InstructionsRetired,
+            benchmark: Benchmark::Null,
+            reps,
+            base_seed: 0x6121D,
+            hz: 250,
+        }
+    }
+
+    /// Number of cells that will actually run (after skipping impossible
+    /// combinations).
+    pub fn cell_count(&self) -> usize {
+        self.cells().count()
+    }
+
+    /// Total number of measurements (`cells × reps`).
+    pub fn run_count(&self) -> usize {
+        self.cell_count() * self.reps
+    }
+
+    /// Iterates the valid cells.
+    fn cells(&self) -> impl Iterator<Item = MeasurementConfig> + '_ {
+        let mut out = Vec::new();
+        for &processor in &self.processors {
+            let avail = processor.uarch().programmable_counters;
+            for &interface in &self.interfaces {
+                for &pattern in &self.patterns {
+                    if !interface.supports(pattern) {
+                        continue;
+                    }
+                    for &opt_level in &self.opt_levels {
+                        for &counters in &self.counter_counts {
+                            if counters == 0 || counters > avail {
+                                continue;
+                            }
+                            for &tsc_on in &self.tsc_settings {
+                                if !tsc_on && interface != Interface::Pc {
+                                    continue;
+                                }
+                                for &mode in &self.modes {
+                                    out.push(MeasurementConfig {
+                                        processor,
+                                        interface,
+                                        pattern,
+                                        opt_level,
+                                        counters,
+                                        tsc_on,
+                                        mode,
+                                        event: self.event,
+                                        seed: 0, // assigned per rep
+                                        hz: self.hz,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out.into_iter()
+    }
+
+    /// Runs the whole grid and returns every record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first measurement failure (valid cells shouldn't
+    /// fail; a failure indicates a bug, not an expected condition).
+    pub fn run(&self) -> Result<Vec<Record>> {
+        let mut records = Vec::with_capacity(self.run_count());
+        for cell in self.cells() {
+            for rep in 0..self.reps {
+                let seed = per_run_seed(self.base_seed, &cell, rep);
+                let cfg = MeasurementConfig { seed, ..cell };
+                records.push(run_measurement(&cfg, self.benchmark)?);
+            }
+        }
+        Ok(records)
+    }
+}
+
+/// Deterministic per-run seed from the base seed, the cell's identity and
+/// the repetition index.
+fn per_run_seed(base: u64, cell: &MeasurementConfig, rep: usize) -> u64 {
+    let mut h = base ^ 0x9E37_79B9_7F4A_7C15;
+    let mut mix = |v: u64| {
+        h ^= v
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(h << 6)
+            .wrapping_add(h >> 2);
+    };
+    mix(cell.processor as u64);
+    mix(cell.interface as u64);
+    mix(cell.pattern as u64);
+    mix(cell.opt_level as u64);
+    mix(cell.counters as u64);
+    mix(u64::from(cell.tsc_on));
+    mix(cell.mode as u64);
+    mix(rep as u64);
+    h
+}
+
+/// Filtering and grouping helpers over record sets.
+pub trait RecordSet {
+    /// Errors of all records, in order.
+    fn errors(&self) -> Vec<f64>;
+    /// Records matching a predicate.
+    fn filtered(&self, pred: impl Fn(&Record) -> bool) -> Vec<Record>;
+}
+
+impl RecordSet for [Record] {
+    fn errors(&self) -> Vec<f64> {
+        self.iter().map(|r| r.error() as f64).collect()
+    }
+
+    fn filtered(&self, pred: impl Fn(&Record) -> bool) -> Vec<Record> {
+        self.iter().filter(|r| pred(r)).copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_skipping_rules() {
+        let mut g = Grid::new(Benchmark::Null);
+        g.processors = vec![Processor::Core2Duo];
+        g.interfaces = vec![Interface::PHpm, Interface::Pc];
+        g.patterns = Pattern::ALL.to_vec();
+        g.counter_counts = vec![1, 3]; // 3 > CD's 2 → skipped
+        g.tsc_settings = vec![true, false]; // false only valid for pc
+                                            // PHpm: 2 patterns × 1 counter × 1 tsc = 2 cells
+                                            // pc: 4 patterns × 1 counter × 2 tsc = 8 cells
+        assert_eq!(g.cell_count(), 10);
+    }
+
+    #[test]
+    fn run_produces_records() {
+        let mut g = Grid::new(Benchmark::Null);
+        g.interfaces = vec![Interface::Pm, Interface::Pc];
+        g.patterns = vec![Pattern::StartRead, Pattern::ReadRead];
+        g.modes = vec![CountingMode::User, CountingMode::UserKernel];
+        g.reps = 3;
+        g.hz = 0;
+        let records = g.run().unwrap();
+        assert_eq!(records.len(), g.run_count());
+        assert!(records.iter().all(|r| r.error() > 0));
+    }
+
+    #[test]
+    fn per_run_seeds_differ() {
+        let g = Grid::new(Benchmark::Null);
+        let cell = g.cells().next().unwrap();
+        let s: std::collections::HashSet<u64> =
+            (0..50).map(|rep| per_run_seed(1, &cell, rep)).collect();
+        assert_eq!(s.len(), 50);
+    }
+
+    #[test]
+    fn reruns_are_identical() {
+        let mut g = Grid::new(Benchmark::Null);
+        g.reps = 2;
+        g.hz = 0;
+        let a = g.run().unwrap();
+        let b = g.run().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn full_null_grid_is_large() {
+        let g = Grid::full_null(1);
+        // 3 processors × 6 interfaces × patterns × 4 opts × counters × 2
+        // modes, minus skips: must be in the thousands.
+        assert!(g.cell_count() > 1_000, "cells = {}", g.cell_count());
+    }
+
+    #[test]
+    fn record_set_helpers() {
+        let mut g = Grid::new(Benchmark::Null);
+        g.reps = 2;
+        g.hz = 0;
+        let records = g.run().unwrap();
+        assert_eq!(records.errors().len(), records.len());
+        let only_ar = records.filtered(|r| r.config.pattern == Pattern::StartRead);
+        assert_eq!(only_ar.len(), records.len());
+    }
+}

@@ -1,0 +1,88 @@
+use std::error::Error;
+use std::fmt;
+
+/// Hardware-level faults and configuration errors.
+///
+/// These mirror the failure modes of the real instructions described in
+/// §2.2 of the paper: privileged instructions trap when executed in user
+/// mode, `RDPMC` faults when `CR4.PCE` is clear, and counter indices beyond
+/// the micro-architecture's register file are invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CpuError {
+    /// A privileged instruction (`RDMSR`/`WRMSR`) was executed in user mode.
+    GeneralProtectionFault {
+        /// Human-readable description of the faulting access.
+        what: &'static str,
+    },
+    /// `RDPMC` executed in user mode while `CR4.PCE` is clear.
+    RdpmcNotEnabled,
+    /// `RDTSC` executed in user mode while `CR4.TSD` restricts it.
+    RdtscRestricted,
+    /// Reference to a performance counter index this processor doesn't have.
+    NoSuchCounter {
+        /// The requested index.
+        index: usize,
+        /// How many counters this processor provides.
+        available: usize,
+    },
+    /// Reference to an unknown model-specific register.
+    NoSuchMsr {
+        /// The MSR address.
+        address: u32,
+    },
+    /// The event is not countable on this micro-architecture.
+    UnsupportedEvent {
+        /// Name of the event.
+        event: &'static str,
+        /// Name of the micro-architecture.
+        uarch: &'static str,
+    },
+}
+
+impl fmt::Display for CpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpuError::GeneralProtectionFault { what } => {
+                write!(f, "#GP: privileged access from user mode: {what}")
+            }
+            CpuError::RdpmcNotEnabled => {
+                write!(f, "#GP: RDPMC in user mode with CR4.PCE clear")
+            }
+            CpuError::RdtscRestricted => {
+                write!(f, "#GP: RDTSC in user mode with CR4.TSD set")
+            }
+            CpuError::NoSuchCounter { index, available } => {
+                write!(
+                    f,
+                    "no performance counter {index} (processor has {available})"
+                )
+            }
+            CpuError::NoSuchMsr { address } => write!(f, "unknown MSR {address:#x}"),
+            CpuError::UnsupportedEvent { event, uarch } => {
+                write!(f, "event {event} is not countable on {uarch}")
+            }
+        }
+    }
+}
+
+impl Error for CpuError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = CpuError::NoSuchCounter {
+            index: 5,
+            available: 2,
+        };
+        assert!(e.to_string().contains('5'));
+        assert!(e.to_string().contains('2'));
+        assert!(CpuError::RdpmcNotEnabled.to_string().contains("CR4.PCE"));
+        assert!(CpuError::NoSuchMsr { address: 0x186 }
+            .to_string()
+            .contains("0x186"));
+    }
+}

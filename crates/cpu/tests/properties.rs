@@ -1,0 +1,207 @@
+//! Property-based tests of the CPU model: architectural invariants that
+//! must hold for arbitrary workloads, placements and configurations.
+
+use counterlab_cpu::layout::{BuildFingerprint, CodePlacement, TEXT_BASE};
+use counterlab_cpu::machine::{Machine, Privilege};
+use counterlab_cpu::mix::{InstMix, MixBuilder};
+use counterlab_cpu::msr;
+use counterlab_cpu::pmu::{CountMode, Event, PmcConfig};
+use counterlab_cpu::timing::{loop_cpi, straight_cycles, CyclesPerIteration};
+use counterlab_cpu::uarch::Processor;
+use proptest::prelude::*;
+
+fn arb_processor() -> impl Strategy<Value = Processor> {
+    prop_oneof![
+        Just(Processor::PentiumD),
+        Just(Processor::Core2Duo),
+        Just(Processor::AthlonK8),
+    ]
+}
+
+fn arb_mix() -> impl Strategy<Value = InstMix> {
+    (0u64..500, 0u64..50, 0u64..50, 0u64..50, 0u64..5, 0u64..5).prop_map(
+        |(alu, branches, loads, stores, rdpmc, rdtsc)| {
+            MixBuilder::new()
+                .alu(alu)
+                .branches(branches, branches / 2)
+                .loads(loads)
+                .stores(stores)
+                .rdpmc(rdpmc)
+                .rdtsc(rdtsc)
+                .build()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Retired-instruction counting is exact: the committed count equals
+    /// the mix's instruction total, independent of processor.
+    #[test]
+    fn instruction_counting_exact(p in arb_processor(), mix in arb_mix()) {
+        let mut m = Machine::new(p);
+        m.pmu_mut()
+            .program(0, PmcConfig::counting(Event::InstructionsRetired, CountMode::UserAndKernel))
+            .unwrap();
+        m.execute_mix(&mix, Privilege::User);
+        prop_assert_eq!(m.pmu().read_pmc(0).unwrap(), mix.total_instructions());
+    }
+
+    /// Privilege filtering is exact: user-only plus kernel-only equals
+    /// user+kernel for any split of the same work.
+    #[test]
+    fn privilege_split_additive(p in arb_processor(), a in arb_mix(), b in arb_mix()) {
+        let mut m = Machine::new(p);
+        m.pmu_mut().program(0, PmcConfig::counting(Event::InstructionsRetired, CountMode::UserOnly)).unwrap();
+        m.pmu_mut().program(1, PmcConfig::counting(Event::InstructionsRetired, CountMode::KernelOnly)).unwrap();
+        let has_third = m.pmu().programmable_count() > 2;
+        if has_third {
+            m.pmu_mut().program(2, PmcConfig::counting(Event::InstructionsRetired, CountMode::UserAndKernel)).unwrap();
+        }
+        m.execute_mix(&a, Privilege::User);
+        m.execute_mix(&b, Privilege::Kernel);
+        let user = m.pmu().read_pmc(0).unwrap();
+        let kernel = m.pmu().read_pmc(1).unwrap();
+        prop_assert_eq!(user, a.total_instructions());
+        prop_assert_eq!(kernel, b.total_instructions());
+        if has_third {
+            prop_assert_eq!(m.pmu().read_pmc(2).unwrap(), user + kernel);
+        }
+    }
+
+    /// The TSC advances exactly with committed cycles and never runs
+    /// backwards.
+    #[test]
+    fn tsc_equals_cycles(p in arb_processor(), mixes in prop::collection::vec(arb_mix(), 1..10)) {
+        let mut m = Machine::new(p);
+        let mut last = m.rdtsc();
+        for mix in &mixes {
+            m.execute_mix(mix, Privilege::User);
+            let now = m.rdtsc();
+            prop_assert!(now >= last);
+            last = now;
+        }
+        prop_assert_eq!(m.rdtsc(), m.cycle());
+    }
+
+    /// Straight-line cycle cost is monotone in the workload: adding
+    /// instructions never makes code faster.
+    #[test]
+    fn cycles_monotone(p in arb_processor(), mix in arb_mix(), extra in 1u64..100) {
+        let u = p.uarch();
+        let bigger = mix.merged(&InstMix::straight_line(extra));
+        prop_assert!(straight_cycles(u, &bigger) >= straight_cycles(u, &mix));
+    }
+
+    /// Loop CPI is bounded: between 1 and 4 cycles per iteration on every
+    /// modeled micro-architecture, for any placement.
+    #[test]
+    fn loop_cpi_bounded(p in arb_processor(), offset in 0u64..4096, stable in any::<bool>()) {
+        let placement = CodePlacement::at(TEXT_BASE + offset);
+        let cpi = loop_cpi(p.uarch(), placement, &InstMix::LOOP_BODY, stable);
+        let v = cpi.as_f64();
+        prop_assert!((1.0..=4.0).contains(&v), "cpi = {v}");
+    }
+
+    /// Chunked loop execution commutes with whole execution for
+    /// instruction counts (cycle rounding differs by at most one cycle per
+    /// chunk).
+    #[test]
+    fn loop_chunking_instruction_exact(
+        iters in 1u64..100_000,
+        chunk in 1u64..10_000,
+    ) {
+        let placement = CodePlacement::at(0x0804_9000);
+        let mut whole = Machine::new(Processor::AthlonK8);
+        whole.pmu_mut().program(0, PmcConfig::counting(Event::InstructionsRetired, CountMode::UserOnly)).unwrap();
+        let wa = whole.analyze_loop(&InstMix::LOOP_BODY, placement);
+        whole.execute_loop_iters(&InstMix::LOOP_BODY, iters, &wa, Privilege::User);
+
+        let mut chunked = Machine::new(Processor::AthlonK8);
+        chunked.pmu_mut().program(0, PmcConfig::counting(Event::InstructionsRetired, CountMode::UserOnly)).unwrap();
+        let ca = chunked.analyze_loop(&InstMix::LOOP_BODY, placement);
+        let mut left = iters;
+        while left > 0 {
+            let step = left.min(chunk);
+            chunked.execute_loop_iters(&InstMix::LOOP_BODY, step, &ca, Privilege::User);
+            left -= step;
+        }
+        prop_assert_eq!(
+            whole.pmu().read_pmc(0).unwrap(),
+            chunked.pmu().read_pmc(0).unwrap()
+        );
+    }
+
+    /// Fingerprints are deterministic and placement stays inside the text
+    /// segment.
+    #[test]
+    fn fingerprint_deterministic(parts in prop::collection::vec("[a-z]{1,8}", 1..5)) {
+        let build = |parts: &[String]| {
+            let mut f = BuildFingerprint::new();
+            for p in parts {
+                f = f.with_str(p);
+            }
+            f
+        };
+        let a = build(&parts);
+        let b = build(&parts);
+        prop_assert_eq!(a.hash(), b.hash());
+        let addr = a.placement().base_address();
+        prop_assert!(addr >= TEXT_BASE);
+        prop_assert!(addr < TEXT_BASE + (1 << 20));
+    }
+
+    /// MSR event-select encode/decode round-trips for every event, mode
+    /// and enable bit on every processor.
+    #[test]
+    fn evtsel_roundtrip(p in arb_processor(), ei in 0usize..7, enabled in any::<bool>(),
+                        mi in 0usize..3) {
+        let event = Event::ALL[ei];
+        let mode = [CountMode::UserOnly, CountMode::KernelOnly, CountMode::UserAndKernel][mi];
+        let cfg = PmcConfig { event, mode, enabled };
+        let v = msr::encode_evtsel(p.uarch(), &cfg).unwrap();
+        let back = msr::decode_evtsel(p.uarch(), v).unwrap().unwrap();
+        prop_assert_eq!(back, cfg);
+    }
+
+    /// PMU snapshot/restore round-trips arbitrary counter values.
+    #[test]
+    fn pmu_snapshot_roundtrip(p in arb_processor(), values in prop::collection::vec(any::<u64>(), 18)) {
+        let mut m = Machine::new(p);
+        let n = m.pmu().programmable_count();
+        for i in 0..n {
+            m.pmu_mut().write_pmc(i, values[i % values.len()]).unwrap();
+        }
+        let snap = m.pmu().snapshot();
+        for i in 0..n {
+            m.pmu_mut().write_pmc(i, 0).unwrap();
+        }
+        m.pmu_mut().restore(&snap);
+        for i in 0..n {
+            prop_assert_eq!(m.pmu().read_pmc(i).unwrap(), values[i % values.len()]);
+        }
+    }
+
+    /// CyclesPerIteration arithmetic: cycles_for is superadditive under
+    /// splitting (ceil rounding can only add cycles).
+    #[test]
+    fn cpi_split_superadditive(num in 1u64..8, den in 1u64..4, a in 0u64..100_000, b in 0u64..100_000) {
+        let cpi = CyclesPerIteration::new(num, den);
+        let whole = cpi.cycles_for(a + b);
+        let split = cpi.cycles_for(a) + cpi.cycles_for(b);
+        prop_assert!(split >= whole);
+        prop_assert!(split <= whole + 2, "rounding adds at most 1 per part");
+    }
+
+    /// Mix algebra: `repeated(n)` equals n-fold `merged`.
+    #[test]
+    fn mix_repeat_is_iterated_merge(mix in arb_mix(), n in 1u64..20) {
+        let repeated = mix.repeated(n);
+        let mut merged = InstMix::empty();
+        for _ in 0..n {
+            merged = merged.merged(&mix);
+        }
+        prop_assert_eq!(repeated, merged);
+    }
+}

@@ -1,0 +1,241 @@
+//! Kernel configuration: timer frequency, handler costs, and the interrupt
+//! boundary skid model.
+
+use counterlab_cpu::uarch::Processor;
+
+/// Cost model of one timer tick's kernel work (handler + scheduler +
+/// accounting), in kernel-mode instructions.
+///
+/// The base values are calibration constants chosen so that the
+/// user+kernel error slopes of the paper's Figure 7 come out at the right
+/// magnitude (≈0.001–0.002 extra instructions per loop iteration); see
+/// DESIGN.md §2. Extension crates add their own per-tick overhead via
+/// [`TimerCost::extension_extra`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerCost {
+    /// Kernel instructions of the stock handler path.
+    pub base_instructions: u64,
+    /// Additional kernel instructions contributed by a loaded kernel
+    /// extension's tick hook (perfctr's virtualization work, etc.).
+    pub extension_extra: u64,
+    /// Upper bound of the uniform per-tick jitter added to the base
+    /// (scheduler work varies run to run).
+    pub jitter: u64,
+}
+
+impl TimerCost {
+    /// The default handler cost for a processor (faster machines run the
+    /// same kernel path in fewer microseconds but the instruction count is
+    /// dominated by what 2.6.22 does per tick on that platform's code
+    /// paths).
+    pub fn default_for(processor: Processor) -> Self {
+        let base_instructions = match processor {
+            Processor::PentiumD => 6_000,
+            Processor::Core2Duo => 8_000,
+            Processor::AthlonK8 => 3_000,
+        };
+        TimerCost {
+            base_instructions,
+            extension_extra: 0,
+            jitter: base_instructions / 8,
+        }
+    }
+}
+
+/// Interrupt boundary skid: when an interrupt arrives, a few in-flight user
+/// instructions may be double-counted or lost by a user-mode counter,
+/// depending on where the retirement boundary lands.
+///
+/// This is what makes the user-mode duration slopes of Figure 8 tiny but
+/// nonzero with either sign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkidModel {
+    /// Probability that an interrupt over-counts user instructions.
+    pub plus_probability: f64,
+    /// Probability that an interrupt under-counts user instructions.
+    pub minus_probability: f64,
+    /// Maximum magnitude of the skid, in instructions.
+    pub max_magnitude: u64,
+}
+
+impl Default for SkidModel {
+    fn default() -> Self {
+        SkidModel {
+            plus_probability: 0.004,
+            minus_probability: 0.004,
+            max_magnitude: 2,
+        }
+    }
+}
+
+impl SkidModel {
+    /// A skid model that never perturbs anything (for ablations).
+    pub fn disabled() -> Self {
+        SkidModel {
+            plus_probability: 0.0,
+            minus_probability: 0.0,
+            max_magnitude: 0,
+        }
+    }
+}
+
+/// I/O interrupt load: disk/network interrupts arriving as a Poisson
+/// process. The paper's §5 names “i/o interrupts” alongside the timer as
+/// a source of duration-dependent error; measurements in this study ran
+/// on quiescent machines, so the default is off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoInterrupts {
+    /// Mean arrival rate in interrupts per second.
+    pub rate_hz: u32,
+    /// Kernel instructions per handler run.
+    pub handler_instructions: u64,
+}
+
+/// Preemptive round-robin scheduling: when several threads are runnable,
+/// the scheduler rotates them every `timeslice_ticks` timer ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Preemption {
+    /// Timer ticks per timeslice (2.6.22's default timeslice ≈ 100 ms =
+    /// 25 ticks at HZ=250).
+    pub timeslice_ticks: u32,
+    /// User instructions a background thread executes per slice it is
+    /// given (a stand-in for whatever the other workload does).
+    pub background_instructions: u64,
+}
+
+impl Default for Preemption {
+    fn default() -> Self {
+        Preemption {
+            timeslice_ticks: 25,
+            background_instructions: 1_000_000,
+        }
+    }
+}
+
+/// Top-level kernel configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelConfig {
+    /// Timer interrupt frequency (Linux 2.6.22 default `CONFIG_HZ=250`).
+    /// Zero disables the timer entirely (the Figure 7 ablation).
+    pub hz: u32,
+    /// RNG seed for all kernel-side stochastic behaviour (tick phase,
+    /// handler jitter, skid).
+    pub seed: u64,
+    /// Timer handler cost model; `None` selects
+    /// [`TimerCost::default_for`] the processor at boot.
+    pub timer_cost: Option<TimerCost>,
+    /// Interrupt boundary skid model.
+    pub skid: SkidModel,
+    /// Optional I/O interrupt load (off by default: quiescent machine).
+    pub io: Option<IoInterrupts>,
+    /// Optional preemptive scheduling (off by default: the paper's
+    /// measurement processes had the machine to themselves).
+    pub preemption: Option<Preemption>,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            hz: 250,
+            seed: 0xC0_FF_EE,
+            timer_cost: None,
+            skid: SkidModel::default(),
+            io: None,
+            preemption: None,
+        }
+    }
+}
+
+impl KernelConfig {
+    /// Replaces the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the timer frequency (0 disables ticks).
+    pub fn with_hz(mut self, hz: u32) -> Self {
+        self.hz = hz;
+        self
+    }
+
+    /// Replaces the timer cost model.
+    pub fn with_timer_cost(mut self, cost: TimerCost) -> Self {
+        self.timer_cost = Some(cost);
+        self
+    }
+
+    /// Replaces the skid model.
+    pub fn with_skid(mut self, skid: SkidModel) -> Self {
+        self.skid = skid;
+        self
+    }
+
+    /// Disables the timer interrupt (ablation: Figure 7 slopes collapse).
+    pub fn without_timer(self) -> Self {
+        self.with_hz(0)
+    }
+
+    /// Adds an I/O interrupt load.
+    pub fn with_io(mut self, io: IoInterrupts) -> Self {
+        self.io = Some(io);
+        self
+    }
+
+    /// Enables preemptive round-robin scheduling.
+    pub fn with_preemption(mut self, p: Preemption) -> Self {
+        self.preemption = Some(p);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let c = KernelConfig::default();
+        assert_eq!(c.hz, 250);
+        assert!(c.timer_cost.is_none());
+        assert!(c.skid.plus_probability > 0.0);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = KernelConfig::default()
+            .with_seed(1)
+            .with_hz(100)
+            .with_skid(SkidModel::disabled());
+        assert_eq!(c.seed, 1);
+        assert_eq!(c.hz, 100);
+        assert_eq!(c.skid.max_magnitude, 0);
+    }
+
+    #[test]
+    fn without_timer() {
+        assert_eq!(KernelConfig::default().without_timer().hz, 0);
+    }
+
+    #[test]
+    fn io_and_preemption_builders() {
+        let c = KernelConfig::default()
+            .with_io(IoInterrupts {
+                rate_hz: 100,
+                handler_instructions: 2_000,
+            })
+            .with_preemption(Preemption::default());
+        assert_eq!(c.io.unwrap().rate_hz, 100);
+        assert_eq!(c.preemption.unwrap().timeslice_ticks, 25);
+        assert!(KernelConfig::default().io.is_none());
+        assert!(KernelConfig::default().preemption.is_none());
+    }
+
+    #[test]
+    fn timer_cost_scales_by_processor() {
+        let k8 = TimerCost::default_for(Processor::AthlonK8);
+        let cd = TimerCost::default_for(Processor::Core2Duo);
+        assert!(k8.base_instructions < cd.base_instructions);
+        assert!(k8.jitter > 0);
+    }
+}

@@ -1,0 +1,64 @@
+use std::error::Error;
+use std::fmt;
+
+use counterlab_cpu::CpuError;
+
+/// Kernel-level failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum KernelError {
+    /// A hardware fault propagated from the CPU model.
+    Cpu(CpuError),
+    /// Reference to a thread that doesn't exist.
+    NoSuchThread {
+        /// The requested thread id.
+        tid: u32,
+    },
+    /// A kernel entry was requested while already in kernel mode (the model
+    /// does not nest system calls).
+    AlreadyInKernel,
+    /// A kernel exit was requested while in user mode.
+    NotInKernel,
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::Cpu(e) => write!(f, "cpu fault: {e}"),
+            KernelError::NoSuchThread { tid } => write!(f, "no such thread: {tid}"),
+            KernelError::AlreadyInKernel => write!(f, "nested kernel entry"),
+            KernelError::NotInKernel => write!(f, "kernel exit from user mode"),
+        }
+    }
+}
+
+impl Error for KernelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            KernelError::Cpu(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CpuError> for KernelError {
+    fn from(e: CpuError) -> Self {
+        KernelError::Cpu(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = KernelError::from(CpuError::RdpmcNotEnabled);
+        assert!(e.to_string().contains("cpu fault"));
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&KernelError::AlreadyInKernel).is_none());
+        assert!(KernelError::NoSuchThread { tid: 3 }
+            .to_string()
+            .contains('3'));
+    }
+}

@@ -1,0 +1,67 @@
+//! # counterlab-kernel
+//!
+//! A simulated Linux 2.6.22-class kernel for the `counterlab` study,
+//! providing exactly the OS behaviour the paper's error analysis depends on:
+//!
+//! * **system calls** (§2.2): privileged counter configuration has to cross
+//!   the user/kernel boundary, and every crossing executes user-mode stub
+//!   instructions and kernel-mode entry/exit paths that land inside the
+//!   measurement window;
+//! * **the timer interrupt** (§5): a `CONFIG_HZ = 250` periodic interrupt
+//!   whose handler executes thousands of kernel-mode instructions that
+//!   per-thread user+kernel counters attribute to the interrupted thread —
+//!   the cause of the duration-dependent error of Figures 7–9;
+//! * **context switches with PMU save/restore** (§2.3): the mechanism that
+//!   turns raw per-core counters into per-thread virtual counters;
+//! * **interrupt boundary skid**: a ±few-instruction imprecision at
+//!   interrupt entry that gives user-mode error slopes their tiny,
+//!   either-sign values (Figure 8).
+//!
+//! The central type is [`system::System`]: one core ([`counterlab_cpu`]
+//! machine) plus kernel state, driven by the kernel-extension crates
+//! (`counterlab-perfctr`, `counterlab-perfmon`).
+//!
+//! # Examples
+//!
+//! ```
+//! use counterlab_kernel::prelude::*;
+//! use counterlab_cpu::prelude::*;
+//!
+//! let mut sys = System::new(Processor::Core2Duo, KernelConfig::default().with_seed(7));
+//! // Program a user+kernel instruction counter directly (as a kernel
+//! // extension would) and run a user loop under timer interrupts.
+//! sys.machine_mut()
+//!     .pmu_mut()
+//!     .program(0, PmcConfig::counting(Event::InstructionsRetired, CountMode::UserAndKernel))
+//!     .unwrap();
+//! let placement = CodePlacement::at(0x0804_9000);
+//! sys.run_user_loop(&InstMix::LOOP_BODY, 100_000, placement);
+//! let counted = sys.machine().pmu().read_pmc(0).unwrap();
+//! // 3 instructions per iteration, plus timer-handler kernel instructions.
+//! assert!(counted >= 300_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod interrupt;
+pub mod syscall;
+pub mod system;
+pub mod thread;
+
+mod error;
+
+pub use error::KernelError;
+
+/// Commonly used types.
+pub mod prelude {
+    pub use crate::config::{KernelConfig, SkidModel, TimerCost};
+    pub use crate::syscall::SyscallConvention;
+    pub use crate::system::System;
+    pub use crate::thread::ThreadId;
+    pub use crate::KernelError;
+}
+
+/// Result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, KernelError>;

@@ -1,0 +1,188 @@
+//! Threads and per-thread PMU state.
+//!
+//! §2.3: “the operating system's context switch code has to be extended to
+//! save and restore the counter registers” — [`ThreadTable`] holds the
+//! saved state; [`crate::system::System::switch_thread`] performs the
+//! save/restore.
+
+use counterlab_cpu::pmu::PmuSnapshot;
+
+/// Identifier of a simulated thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ThreadId(pub u32);
+
+impl std::fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tid{}", self.0)
+    }
+}
+
+/// Per-thread kernel state.
+#[derive(Debug, Clone)]
+pub struct Thread {
+    id: ThreadId,
+    name: String,
+    saved_counters: Option<PmuSnapshot>,
+    user_instructions: u64,
+}
+
+impl Thread {
+    /// Thread id.
+    pub fn id(&self) -> ThreadId {
+        self.id
+    }
+
+    /// Thread name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The PMU snapshot saved at the last switch-out (if any).
+    pub fn saved_counters(&self) -> Option<&PmuSnapshot> {
+        self.saved_counters.as_ref()
+    }
+
+    /// Stores a snapshot at switch-out.
+    pub fn save_counters(&mut self, snapshot: PmuSnapshot) {
+        self.saved_counters = Some(snapshot);
+    }
+
+    /// Takes the snapshot for restore at switch-in.
+    pub fn take_counters(&mut self) -> Option<PmuSnapshot> {
+        self.saved_counters.take()
+    }
+
+    /// Total user-mode instructions this thread has retired (kernel
+    /// bookkeeping, used by tests and reports).
+    pub fn user_instructions(&self) -> u64 {
+        self.user_instructions
+    }
+
+    pub(crate) fn add_user_instructions(&mut self, n: u64) {
+        self.user_instructions += n;
+    }
+}
+
+/// The kernel's thread table.
+#[derive(Debug, Clone)]
+pub struct ThreadTable {
+    threads: Vec<Thread>,
+    current: ThreadId,
+}
+
+impl ThreadTable {
+    /// Creates the table with the initial thread (tid 0).
+    pub fn new() -> Self {
+        ThreadTable {
+            threads: vec![Thread {
+                id: ThreadId(0),
+                name: "main".to_string(),
+                saved_counters: None,
+                user_instructions: 0,
+            }],
+            current: ThreadId(0),
+        }
+    }
+
+    /// The currently running thread's id.
+    pub fn current(&self) -> ThreadId {
+        self.current
+    }
+
+    /// Creates a new thread and returns its id.
+    pub fn spawn(&mut self, name: impl Into<String>) -> ThreadId {
+        let id = ThreadId(self.threads.len() as u32);
+        self.threads.push(Thread {
+            id,
+            name: name.into(),
+            saved_counters: None,
+            user_instructions: 0,
+        });
+        id
+    }
+
+    /// Number of threads.
+    pub fn len(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Whether only the initial thread exists.
+    pub fn is_empty(&self) -> bool {
+        self.threads.is_empty()
+    }
+
+    /// Immutable access to a thread.
+    pub fn get(&self, tid: ThreadId) -> Option<&Thread> {
+        self.threads.get(tid.0 as usize)
+    }
+
+    /// Mutable access to a thread.
+    pub fn get_mut(&mut self, tid: ThreadId) -> Option<&mut Thread> {
+        self.threads.get_mut(tid.0 as usize)
+    }
+
+    /// Marks `tid` as the running thread.
+    pub(crate) fn set_current(&mut self, tid: ThreadId) {
+        self.current = tid;
+    }
+
+    /// Iterates over all threads.
+    pub fn iter(&self) -> impl Iterator<Item = &Thread> {
+        self.threads.iter()
+    }
+}
+
+impl Default for ThreadTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_thread_is_main() {
+        let t = ThreadTable::new();
+        assert_eq!(t.current(), ThreadId(0));
+        assert_eq!(t.get(ThreadId(0)).unwrap().name(), "main");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn spawn_assigns_sequential_ids() {
+        let mut t = ThreadTable::new();
+        let a = t.spawn("a");
+        let b = t.spawn("b");
+        assert_eq!(a, ThreadId(1));
+        assert_eq!(b, ThreadId(2));
+        assert_eq!(t.get(b).unwrap().name(), "b");
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn missing_thread_is_none() {
+        let t = ThreadTable::new();
+        assert!(t.get(ThreadId(42)).is_none());
+    }
+
+    #[test]
+    fn snapshot_save_take() {
+        let mut t = ThreadTable::new();
+        let tid = t.spawn("x");
+        let snap = PmuSnapshot {
+            pmcs: vec![1, 2],
+            fixed: vec![],
+        };
+        t.get_mut(tid).unwrap().save_counters(snap.clone());
+        assert_eq!(t.get(tid).unwrap().saved_counters(), Some(&snap));
+        assert_eq!(t.get_mut(tid).unwrap().take_counters(), Some(snap));
+        assert_eq!(t.get(tid).unwrap().saved_counters(), None);
+    }
+
+    #[test]
+    fn display_tid() {
+        assert_eq!(ThreadId(7).to_string(), "tid7");
+    }
+}

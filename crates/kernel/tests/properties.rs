@@ -1,0 +1,153 @@
+//! Property-based tests of the kernel model.
+
+use counterlab_cpu::layout::CodePlacement;
+use counterlab_cpu::mix::InstMix;
+use counterlab_cpu::pmu::{CountMode, Event, PmcConfig};
+use counterlab_cpu::uarch::Processor;
+use counterlab_kernel::config::{KernelConfig, SkidModel};
+use counterlab_kernel::syscall::{kernel_code_mix, user_code_mix};
+use counterlab_kernel::system::System;
+use proptest::prelude::*;
+
+fn arb_processor() -> impl Strategy<Value = Processor> {
+    prop_oneof![
+        Just(Processor::PentiumD),
+        Just(Processor::Core2Duo),
+        Just(Processor::AthlonK8),
+    ]
+}
+
+fn quiet(p: Processor, seed: u64) -> System {
+    System::new(
+        p,
+        KernelConfig::default()
+            .with_hz(0)
+            .with_seed(seed)
+            .with_skid(SkidModel::disabled()),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Mix shapers conserve the instruction budget exactly for any size.
+    #[test]
+    fn code_mixes_conserve_budget(n in 0u64..1_000_000) {
+        prop_assert_eq!(user_code_mix(n).total_instructions(), n);
+        prop_assert_eq!(kernel_code_mix(n).total_instructions(), n);
+    }
+
+    /// Syscall attribution is exact: for any handler sizes, the user
+    /// counter sees exactly the stubs and the kernel counter exactly the
+    /// entry/exit paths plus the handler.
+    #[test]
+    fn syscall_attribution_exact(
+        p in arb_processor(),
+        pre in 0u64..5_000,
+        post in 0u64..5_000,
+        seed in any::<u64>(),
+    ) {
+        let mut sys = quiet(p, seed);
+        sys.machine_mut().pmu_mut()
+            .program(0, PmcConfig::counting(Event::InstructionsRetired, CountMode::UserOnly))
+            .unwrap();
+        sys.machine_mut().pmu_mut()
+            .program(1, PmcConfig::counting(Event::InstructionsRetired, CountMode::KernelOnly))
+            .unwrap();
+        let conv = sys.convention();
+        sys.syscall(&kernel_code_mix(pre), |_| Ok(()), &kernel_code_mix(post)).unwrap();
+        prop_assert_eq!(sys.machine().pmu().read_pmc(0).unwrap(), conv.total_user());
+        prop_assert_eq!(
+            sys.machine().pmu().read_pmc(1).unwrap(),
+            conv.total_kernel() + pre + post
+        );
+    }
+
+    /// With the timer off and skid disabled, user loops count exactly for
+    /// any size and placement.
+    #[test]
+    fn quiet_loops_exact(
+        p in arb_processor(),
+        iters in 1u64..3_000_000,
+        offset in 0u64..65_536,
+        seed in any::<u64>(),
+    ) {
+        let mut sys = quiet(p, seed);
+        sys.machine_mut().pmu_mut()
+            .program(0, PmcConfig::counting(Event::InstructionsRetired, CountMode::UserAndKernel))
+            .unwrap();
+        sys.run_user_loop(
+            &InstMix::LOOP_BODY,
+            iters,
+            CodePlacement::at(0x0804_8000 + offset),
+        );
+        prop_assert_eq!(sys.machine().pmu().read_pmc(0).unwrap(), 3 * iters);
+    }
+
+    /// With the timer on, the kernel-mode count equals (handler sizes
+    /// summed), i.e. every counted kernel instruction is accounted to an
+    /// interrupt — nothing appears from nowhere.
+    #[test]
+    fn tick_accounting_conserved(iters in 1_000_000u64..50_000_000, seed in any::<u64>()) {
+        let mut sys = System::new(
+            Processor::Core2Duo,
+            KernelConfig::default().with_seed(seed).with_skid(SkidModel::disabled()),
+        );
+        sys.machine_mut().pmu_mut()
+            .program(0, PmcConfig::counting(Event::InstructionsRetired, CountMode::KernelOnly))
+            .unwrap();
+        sys.run_user_loop(&InstMix::LOOP_BODY, iters, CodePlacement::at(0x0804_9000));
+        let kernel = sys.machine().pmu().read_pmc(0).unwrap();
+        let ticks = sys.ticks_delivered();
+        if ticks == 0 {
+            prop_assert_eq!(kernel, 0);
+        } else {
+            // Each tick handler is base ± jitter (CD base 8000, jitter ≤ 1000).
+            prop_assert!(kernel >= ticks * 8_000, "kernel {kernel} ticks {ticks}");
+            prop_assert!(kernel <= ticks * 9_100, "kernel {kernel} ticks {ticks}");
+        }
+    }
+
+    /// Thread counter isolation holds for arbitrary interleavings.
+    #[test]
+    fn thread_isolation(
+        work in prop::collection::vec((0usize..3, 1u64..10_000), 1..20),
+        seed in any::<u64>(),
+    ) {
+        use counterlab_kernel::thread::ThreadId;
+        let mut sys = quiet(Processor::AthlonK8, seed);
+        sys.machine_mut().pmu_mut()
+            .program(0, PmcConfig::counting(Event::InstructionsRetired, CountMode::UserOnly))
+            .unwrap();
+        sys.spawn_thread("t1");
+        sys.spawn_thread("t2");
+        let mut expected = [0u64; 3];
+        for &(tid, n) in &work {
+            sys.switch_thread(ThreadId(tid as u32)).unwrap();
+            sys.run_user_mix(&InstMix::straight_line(n));
+            expected[tid] += n;
+        }
+        for tid in 0..3u32 {
+            sys.switch_thread(ThreadId(tid)).unwrap();
+            prop_assert_eq!(
+                sys.machine().pmu().read_pmc(0).unwrap(),
+                expected[tid as usize],
+                "thread {}", tid
+            );
+        }
+    }
+
+    /// Identical seeds give identical systems: full determinism.
+    #[test]
+    fn system_determinism(iters in 1u64..10_000_000, seed in any::<u64>()) {
+        let run = || {
+            let mut sys = System::new(Processor::PentiumD, KernelConfig::default().with_seed(seed));
+            sys.machine_mut().pmu_mut()
+                .program(0, PmcConfig::counting(Event::InstructionsRetired, CountMode::UserAndKernel))
+                .unwrap();
+            sys.run_user_loop(&InstMix::LOOP_BODY, iters, CodePlacement::at(0x0804_9000));
+            (sys.machine().pmu().read_pmc(0).unwrap(), sys.machine().cycle(), sys.ticks_delivered())
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

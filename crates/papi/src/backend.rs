@@ -1,0 +1,191 @@
+//! The substrate abstraction: PAPI built on perfctr or on perfmon2.
+//!
+//! The paper evaluates both builds (`PLpc`/`PHpc` vs `PLpm`/`PHpm`); the
+//! [`Backend`] enum gives the PAPI layers one interface over the two
+//! kernel extensions while preserving each extension's cost behaviour.
+
+use counterlab_cpu::pmu::{CountMode, Event};
+use counterlab_kernel::system::System;
+use counterlab_perfctr::{Perfctr, PerfctrOptions};
+use counterlab_perfmon::{Perfmon, PerfmonOptions};
+
+use crate::{PapiError, Result};
+
+/// Which kernel extension PAPI was built on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// libperfctr / perfctr.
+    Perfctr,
+    /// libpfm / perfmon2.
+    Perfmon,
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BackendKind::Perfctr => "perfctr",
+            BackendKind::Perfmon => "perfmon",
+        })
+    }
+}
+
+/// A PAPI substrate: one of the two kernel extensions.
+#[derive(Debug, Clone)]
+pub enum Backend {
+    /// PAPI build over libperfctr.
+    Perfctr(Perfctr),
+    /// PAPI build over libpfm.
+    Perfmon(Perfmon),
+}
+
+impl Backend {
+    /// Attaches the given extension to an existing system.
+    ///
+    /// PAPI's perfctr substrate always enables the TSC — PAPI knows about
+    /// the fast-read requirement (§4.1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates extension attach failures.
+    pub fn attach(kind: BackendKind, sys: System, seed: u64) -> Result<Self> {
+        match kind {
+            BackendKind::Perfctr => Ok(Backend::Perfctr(Perfctr::attach(
+                sys,
+                PerfctrOptions { tsc_on: true, seed },
+            )?)),
+            BackendKind::Perfmon => Ok(Backend::Perfmon(Perfmon::attach(
+                sys,
+                PerfmonOptions { seed },
+            )?)),
+        }
+    }
+
+    /// Which extension this is.
+    pub fn kind(&self) -> BackendKind {
+        match self {
+            Backend::Perfctr(_) => BackendKind::Perfctr,
+            Backend::Perfmon(_) => BackendKind::Perfmon,
+        }
+    }
+
+    /// Programs the events (counting disabled).
+    ///
+    /// # Errors
+    ///
+    /// Propagates extension errors (e.g. too many counters).
+    pub fn configure(&mut self, events: &[(Event, CountMode)]) -> Result<()> {
+        match self {
+            Backend::Perfctr(pc) => pc.control(events).map_err(PapiError::from),
+            Backend::Perfmon(pm) => pm.write_pmcs(events).map_err(PapiError::from),
+        }
+    }
+
+    /// Starts counting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates extension errors.
+    pub fn start(&mut self) -> Result<()> {
+        match self {
+            Backend::Perfctr(pc) => pc.start().map_err(PapiError::from),
+            Backend::Perfmon(pm) => pm.start().map_err(PapiError::from),
+        }
+    }
+
+    /// Stops counting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates extension errors.
+    pub fn stop(&mut self) -> Result<()> {
+        match self {
+            Backend::Perfctr(pc) => pc.stop().map_err(PapiError::from),
+            Backend::Perfmon(pm) => pm.stop().map_err(PapiError::from),
+        }
+    }
+
+    /// Resets counter values to zero.
+    ///
+    /// # Errors
+    ///
+    /// Propagates extension errors.
+    pub fn reset(&mut self) -> Result<()> {
+        match self {
+            Backend::Perfctr(pc) => pc.reset().map_err(PapiError::from),
+            Backend::Perfmon(pm) => pm.reset().map_err(PapiError::from),
+        }
+    }
+
+    /// Reads all programmed counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates extension errors.
+    pub fn read(&mut self) -> Result<Vec<u64>> {
+        match self {
+            Backend::Perfctr(pc) => Ok(pc.read_ctrs()?.pmcs),
+            Backend::Perfmon(pm) => pm.read_pmds().map_err(PapiError::from),
+        }
+    }
+
+    /// The underlying system.
+    pub fn system(&self) -> &System {
+        match self {
+            Backend::Perfctr(pc) => pc.system(),
+            Backend::Perfmon(pm) => pm.system(),
+        }
+    }
+
+    /// Mutable system access.
+    pub fn system_mut(&mut self) -> &mut System {
+        match self {
+            Backend::Perfctr(pc) => pc.system_mut(),
+            Backend::Perfmon(pm) => pm.system_mut(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use counterlab_cpu::uarch::Processor;
+    use counterlab_kernel::config::{KernelConfig, SkidModel};
+
+    fn sys() -> System {
+        System::new(
+            Processor::AthlonK8,
+            KernelConfig::default()
+                .with_hz(0)
+                .with_skid(SkidModel::disabled()),
+        )
+    }
+
+    #[test]
+    fn attach_both_kinds() {
+        let pc = Backend::attach(BackendKind::Perfctr, sys(), 1).unwrap();
+        assert_eq!(pc.kind(), BackendKind::Perfctr);
+        let pm = Backend::attach(BackendKind::Perfmon, sys(), 1).unwrap();
+        assert_eq!(pm.kind(), BackendKind::Perfmon);
+    }
+
+    #[test]
+    fn uniform_lifecycle() {
+        for kind in [BackendKind::Perfctr, BackendKind::Perfmon] {
+            let mut b = Backend::attach(kind, sys(), 2).unwrap();
+            b.configure(&[(Event::InstructionsRetired, CountMode::UserOnly)])
+                .unwrap();
+            b.start().unwrap();
+            let v0 = b.read().unwrap()[0];
+            let v1 = b.read().unwrap()[0];
+            assert!(v1 > v0, "{kind}: counting must progress");
+            b.stop().unwrap();
+            b.reset().unwrap();
+        }
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(BackendKind::Perfctr.to_string(), "perfctr");
+        assert_eq!(BackendKind::Perfmon.to_string(), "perfmon");
+    }
+}

@@ -1,0 +1,105 @@
+use std::error::Error;
+use std::fmt;
+
+use counterlab_kernel::KernelError;
+use counterlab_perfctr::PerfctrError;
+use counterlab_perfmon::PerfmonError;
+
+/// Errors from the PAPI layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PapiError {
+    /// Failure in the perfctr substrate.
+    Perfctr(PerfctrError),
+    /// Failure in the perfmon substrate.
+    Perfmon(PerfmonError),
+    /// An operation was invalid in the event set's current state.
+    InvalidState {
+        /// The attempted PAPI call.
+        operation: &'static str,
+        /// The state it was attempted in.
+        state: &'static str,
+    },
+    /// The same preset was added twice.
+    EventAlreadyAdded {
+        /// The preset's name.
+        name: &'static str,
+    },
+    /// A start was attempted with no events in the set.
+    NoEvents,
+    /// A values buffer had the wrong length.
+    LengthMismatch {
+        /// Events in the set.
+        expected: usize,
+        /// Buffer length supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for PapiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PapiError::Perfctr(e) => write!(f, "papi/perfctr: {e}"),
+            PapiError::Perfmon(e) => write!(f, "papi/perfmon: {e}"),
+            PapiError::InvalidState { operation, state } => {
+                write!(f, "papi: {operation} invalid while event set is {state}")
+            }
+            PapiError::EventAlreadyAdded { name } => {
+                write!(f, "papi: event {name} already in the event set")
+            }
+            PapiError::NoEvents => write!(f, "papi: event set is empty"),
+            PapiError::LengthMismatch { expected, got } => {
+                write!(
+                    f,
+                    "papi: values buffer has {got} entries, event set has {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for PapiError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PapiError::Perfctr(e) => Some(e),
+            PapiError::Perfmon(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PerfctrError> for PapiError {
+    fn from(e: PerfctrError) -> Self {
+        PapiError::Perfctr(e)
+    }
+}
+
+impl From<PerfmonError> for PapiError {
+    fn from(e: PerfmonError) -> Self {
+        PapiError::Perfmon(e)
+    }
+}
+
+impl From<KernelError> for PapiError {
+    fn from(e: KernelError) -> Self {
+        PapiError::Perfmon(PerfmonError::Kernel(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(PapiError::NoEvents.to_string().contains("empty"));
+        assert!(PapiError::InvalidState {
+            operation: "PAPI_read",
+            state: "stopped"
+        }
+        .to_string()
+        .contains("PAPI_read"));
+        let e = PapiError::from(PerfctrError::NotConfigured);
+        assert!(Error::source(&e).is_some());
+    }
+}

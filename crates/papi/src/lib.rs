@@ -1,0 +1,42 @@
+//! # counterlab-papi
+//!
+//! A model of **PAPI** (the Performance API, CVS snapshot of 16 Oct 2007 —
+//! the version the paper builds) over the two kernel extensions:
+//!
+//! * [`lowlevel::PapiLowLevel`] — the “richer and more complex” low-level
+//!   API (`PAPI_create_eventset` / `PAPI_add_event` / `PAPI_start` /
+//!   `PAPI_read` / `PAPI_accum` / `PAPI_stop`), the paper's `PLpc`/`PLpm`;
+//! * [`highlevel::PapiHighLevel`] — the high-level API
+//!   (`PAPI_start_counters` / `PAPI_read_counters` / …), the paper's
+//!   `PHpc`/`PHpm`, whose `read_counters` **implicitly resets** the
+//!   counters and therefore cannot express the read-read or read-stop
+//!   access patterns (§3.5);
+//! * [`backend::Backend`] — the substrate selection (perfctr or perfmon2),
+//!   mirroring the two PAPI builds of §3.3;
+//! * [`preset::PapiPreset`] — platform-independent preset events mapped to
+//!   native events per micro-architecture.
+//!
+//! The layering cost is the paper's Figure 6 finding: every PAPI call adds
+//! user-mode bookkeeping instructions inside the measurement window, so
+//! `direct < low-level < high-level` in error, on both substrates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod highlevel;
+pub mod lowlevel;
+pub mod multiplex;
+pub mod preset;
+
+mod error;
+
+pub use backend::{Backend, BackendKind};
+pub use error::PapiError;
+pub use highlevel::PapiHighLevel;
+pub use lowlevel::PapiLowLevel;
+pub use multiplex::Multiplexed;
+pub use preset::{PapiDomain, PapiPreset};
+
+/// Result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, PapiError>;

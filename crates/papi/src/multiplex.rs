@@ -1,0 +1,416 @@
+//! Counter multiplexing with time interpolation.
+//!
+//! §9 of the paper cites Mytkowicz et al. (“Time interpolation: so many
+//! metrics, so few registers”): when an analyst wants more events than the
+//! processor has counter registers, PAPI can *multiplex* — rotate event
+//! groups onto the counters and scale each group's counts by the fraction
+//! of time it was active:
+//!
+//! ```text
+//! estimate(e) = counted(e) × total_time / active_time(group(e))
+//! ```
+//!
+//! The estimate is exact only if the workload is *stationary*: events
+//! accrue uniformly over time. Phase behaviour breaks the assumption, and
+//! the error can be arbitrarily large — the accuracy hazard Mytkowicz et
+//! al. study and this module reproduces (see
+//! `multiplexing_misses_phases` in the tests).
+
+use std::collections::BTreeMap;
+
+use counterlab_cpu::pmu::{CountMode, Event};
+use counterlab_kernel::system::System;
+
+use crate::backend::{Backend, BackendKind};
+use crate::preset::{PapiDomain, PapiPreset};
+use crate::{PapiError, Result};
+
+/// A multiplexed event set: more events than hardware counters, rotated
+/// in groups.
+///
+/// # Examples
+///
+/// ```
+/// use counterlab_papi::multiplex::Multiplexed;
+/// use counterlab_papi::{BackendKind, PapiPreset};
+/// use counterlab_cpu::prelude::*;
+/// use counterlab_kernel::prelude::*;
+///
+/// # fn main() -> Result<(), counterlab_papi::PapiError> {
+/// let sys = System::new(Processor::Core2Duo, KernelConfig::default());
+/// // Core 2 has two programmable counters; measure four events anyway.
+/// let mut mpx = Multiplexed::new(
+///     BackendKind::Perfmon,
+///     sys,
+///     &[
+///         PapiPreset::PAPI_TOT_INS,
+///         PapiPreset::PAPI_TOT_CYC,
+///         PapiPreset::PAPI_BR_INS,
+///         PapiPreset::PAPI_L1_ICM,
+///     ],
+///     7,
+/// )?;
+/// assert_eq!(mpx.group_count(), 2);
+/// # Ok(()) }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Multiplexed {
+    backend: Backend,
+    domain: PapiDomain,
+    groups: Vec<Vec<PapiPreset>>,
+    group_idx: usize,
+    counted: BTreeMap<PapiPreset, u64>,
+    active_tsc: Vec<u64>,
+    group_started_tsc: u64,
+    total_started_tsc: u64,
+    total_tsc: u64,
+    running: bool,
+}
+
+impl Multiplexed {
+    /// Creates a multiplexed set over `events`, split into groups of at
+    /// most the processor's programmable-counter count.
+    ///
+    /// # Errors
+    ///
+    /// [`PapiError::NoEvents`] for an empty list; substrate attach errors
+    /// propagate.
+    pub fn new(kind: BackendKind, sys: System, events: &[PapiPreset], seed: u64) -> Result<Self> {
+        if events.is_empty() {
+            return Err(PapiError::NoEvents);
+        }
+        let per_group = sys.machine().pmu().programmable_count().max(1);
+        let backend = Backend::attach(kind, sys, seed)?;
+        let groups: Vec<Vec<PapiPreset>> = events
+            .chunks(per_group)
+            .map(<[PapiPreset]>::to_vec)
+            .collect();
+        let active_tsc = vec![0; groups.len()];
+        Ok(Multiplexed {
+            backend,
+            domain: PapiDomain::default(),
+            groups,
+            group_idx: 0,
+            counted: events.iter().map(|e| (*e, 0)).collect(),
+            active_tsc,
+            group_started_tsc: 0,
+            total_started_tsc: 0,
+            total_tsc: 0,
+            running: false,
+        })
+    }
+
+    /// Number of rotation groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The underlying system.
+    pub fn system(&self) -> &System {
+        self.backend.system()
+    }
+
+    /// Mutable system access (to run workload between rotations).
+    pub fn system_mut(&mut self) -> &mut System {
+        self.backend.system_mut()
+    }
+
+    /// Selects the measurement domain.
+    ///
+    /// # Errors
+    ///
+    /// [`PapiError::InvalidState`] while running.
+    pub fn set_domain(&mut self, domain: PapiDomain) -> Result<()> {
+        if self.running {
+            return Err(PapiError::InvalidState {
+                operation: "set_domain",
+                state: "running",
+            });
+        }
+        self.domain = domain;
+        Ok(())
+    }
+
+    /// Starts multiplexed counting with the first group active.
+    ///
+    /// # Errors
+    ///
+    /// [`PapiError::InvalidState`] if already running.
+    pub fn start(&mut self) -> Result<()> {
+        if self.running {
+            return Err(PapiError::InvalidState {
+                operation: "start",
+                state: "running",
+            });
+        }
+        self.group_idx = 0;
+        for v in self.counted.values_mut() {
+            *v = 0;
+        }
+        self.active_tsc.iter_mut().for_each(|t| *t = 0);
+        self.activate_group()?;
+        self.total_started_tsc = self.group_started_tsc;
+        self.running = true;
+        Ok(())
+    }
+
+    /// Rotates to the next group: harvests the active group's counts and
+    /// active time, then configures and starts the next group. In real
+    /// PAPI the OS timer drives this; here the caller rotates explicitly
+    /// between workload slices.
+    ///
+    /// # Errors
+    ///
+    /// [`PapiError::InvalidState`] unless running.
+    pub fn rotate(&mut self) -> Result<()> {
+        if !self.running {
+            return Err(PapiError::InvalidState {
+                operation: "rotate",
+                state: "stopped",
+            });
+        }
+        self.harvest_group()?;
+        self.group_idx = (self.group_idx + 1) % self.groups.len();
+        self.activate_group()?;
+        Ok(())
+    }
+
+    /// Stops counting and finalizes the totals.
+    ///
+    /// # Errors
+    ///
+    /// [`PapiError::InvalidState`] unless running.
+    pub fn stop(&mut self) -> Result<()> {
+        if !self.running {
+            return Err(PapiError::InvalidState {
+                operation: "stop",
+                state: "stopped",
+            });
+        }
+        self.harvest_group()?;
+        self.total_tsc = self
+            .backend
+            .system()
+            .machine()
+            .rdtsc()
+            .saturating_sub(self.total_started_tsc);
+        self.running = false;
+        Ok(())
+    }
+
+    /// The raw counted value for an event (only while its group was
+    /// active).
+    pub fn counted(&self, event: PapiPreset) -> Option<u64> {
+        self.counted.get(&event).copied()
+    }
+
+    /// The time-interpolated estimates: counted × total / active, per
+    /// event. Call after [`Multiplexed::stop`].
+    ///
+    /// # Errors
+    ///
+    /// [`PapiError::InvalidState`] while still running.
+    pub fn estimates(&self) -> Result<Vec<(PapiPreset, f64)>> {
+        if self.running {
+            return Err(PapiError::InvalidState {
+                operation: "estimates",
+                state: "running",
+            });
+        }
+        let mut out = Vec::new();
+        for (gi, group) in self.groups.iter().enumerate() {
+            let active = self.active_tsc[gi];
+            for &event in group {
+                let counted = self.counted[&event] as f64;
+                let estimate = if active == 0 {
+                    0.0
+                } else {
+                    counted * self.total_tsc as f64 / active as f64
+                };
+                out.push((event, estimate));
+            }
+        }
+        Ok(out)
+    }
+
+    /// The estimate for one event.
+    ///
+    /// # Errors
+    ///
+    /// As [`Multiplexed::estimates`].
+    pub fn estimate(&self, event: PapiPreset) -> Result<f64> {
+        Ok(self
+            .estimates()?
+            .into_iter()
+            .find(|(e, _)| *e == event)
+            .map(|(_, v)| v)
+            .unwrap_or(0.0))
+    }
+
+    fn activate_group(&mut self) -> Result<()> {
+        let mode: CountMode = self.domain.to_mode();
+        let native: Vec<(Event, CountMode)> = self.groups[self.group_idx]
+            .iter()
+            .map(|p| (p.to_native(), mode))
+            .collect();
+        self.backend.configure(&native)?;
+        self.backend.start()?;
+        self.group_started_tsc = self.backend.system().machine().rdtsc();
+        Ok(())
+    }
+
+    fn harvest_group(&mut self) -> Result<()> {
+        let values = self.backend.read()?;
+        self.backend.stop()?;
+        let now = self.backend.system().machine().rdtsc();
+        self.active_tsc[self.group_idx] += now.saturating_sub(self.group_started_tsc);
+        for (event, value) in self.groups[self.group_idx].iter().zip(values) {
+            *self.counted.get_mut(event).expect("event registered") += value;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use counterlab_cpu::layout::CodePlacement;
+    use counterlab_cpu::mix::InstMix;
+    use counterlab_cpu::uarch::Processor;
+    use counterlab_kernel::config::{KernelConfig, SkidModel};
+
+    const FOUR: [PapiPreset; 4] = [
+        PapiPreset::PAPI_TOT_INS,
+        PapiPreset::PAPI_TOT_CYC,
+        PapiPreset::PAPI_BR_INS,
+        PapiPreset::PAPI_L1_ICM,
+    ];
+
+    fn sys() -> System {
+        System::new(
+            Processor::Core2Duo,
+            KernelConfig::default()
+                .with_hz(0)
+                .with_skid(SkidModel::disabled()),
+        )
+    }
+
+    fn mpx() -> Multiplexed {
+        Multiplexed::new(BackendKind::Perfmon, sys(), &FOUR, 5).unwrap()
+    }
+
+    #[test]
+    fn groups_respect_counter_limit() {
+        // Core 2 has two counters: four events → two groups.
+        let m = mpx();
+        assert_eq!(m.group_count(), 2);
+        // K8 has four: one group.
+        let k8 = System::new(Processor::AthlonK8, KernelConfig::default().with_hz(0));
+        let m = Multiplexed::new(BackendKind::Perfmon, k8, &FOUR, 5).unwrap();
+        assert_eq!(m.group_count(), 1);
+    }
+
+    #[test]
+    fn stationary_workload_interpolates_well() {
+        let mut m = mpx();
+        m.start().unwrap();
+        // Uniform workload: the same loop slice between every rotation.
+        let placement = CodePlacement::at(0x0804_9000);
+        let slices = 8;
+        let per_slice = 500_000u64;
+        for _ in 0..slices {
+            m.system_mut()
+                .run_user_loop(&InstMix::LOOP_BODY, per_slice, placement);
+            m.rotate().unwrap();
+        }
+        m.stop().unwrap();
+        let total_instructions = 3 * per_slice * slices;
+        let est = m.estimate(PapiPreset::PAPI_TOT_INS).unwrap();
+        let rel = (est - total_instructions as f64).abs() / total_instructions as f64;
+        // Stationary ⇒ interpolation within a few percent.
+        assert!(
+            rel < 0.05,
+            "estimate {est} vs true {total_instructions} (rel {rel})"
+        );
+        // Raw counted is only about half (each group active half the time).
+        let counted = m.counted(PapiPreset::PAPI_TOT_INS).unwrap();
+        assert!(counted < total_instructions * 6 / 10, "counted = {counted}");
+    }
+
+    #[test]
+    fn multiplexing_misses_phases() {
+        // Phase behaviour: all branches happen while the branch counter's
+        // group is inactive → the estimate is wildly wrong (the Mytkowicz
+        // et al. hazard).
+        let mut m = mpx();
+        m.start().unwrap();
+        let placement = CodePlacement::at(0x0804_9000);
+        // Phase 1 (group 0 active: TOT_INS/TOT_CYC): branchy loop.
+        m.system_mut()
+            .run_user_loop(&InstMix::LOOP_BODY, 1_000_000, placement);
+        m.rotate().unwrap();
+        // Phase 2 (group 1 active: BR_INS/L1_ICM): straight-line code,
+        // zero branches.
+        m.system_mut()
+            .run_user_mix(&InstMix::straight_line(3_000_000));
+        m.stop().unwrap();
+        let est = m.estimate(PapiPreset::PAPI_BR_INS).unwrap();
+        let true_branches = 1_000_000.0;
+        // The branch group saw (almost) none of the branchy phase.
+        assert!(
+            est < 0.2 * true_branches,
+            "estimate {est} should grossly undercount {true_branches}"
+        );
+    }
+
+    #[test]
+    fn state_machine_enforced() {
+        let mut m = mpx();
+        assert!(matches!(m.rotate(), Err(PapiError::InvalidState { .. })));
+        assert!(matches!(m.stop(), Err(PapiError::InvalidState { .. })));
+        m.start().unwrap();
+        assert!(matches!(m.start(), Err(PapiError::InvalidState { .. })));
+        assert!(matches!(m.estimates(), Err(PapiError::InvalidState { .. })));
+        assert!(matches!(
+            m.set_domain(PapiDomain::All),
+            Err(PapiError::InvalidState { .. })
+        ));
+        m.stop().unwrap();
+        assert!(m.estimates().is_ok());
+    }
+
+    #[test]
+    fn empty_events_rejected() {
+        assert!(matches!(
+            Multiplexed::new(BackendKind::Perfmon, sys(), &[], 1),
+            Err(PapiError::NoEvents)
+        ));
+    }
+
+    #[test]
+    fn estimates_cover_every_event() {
+        let mut m = mpx();
+        m.start().unwrap();
+        m.system_mut().run_user_mix(&InstMix::straight_line(10_000));
+        m.rotate().unwrap();
+        m.system_mut().run_user_mix(&InstMix::straight_line(10_000));
+        m.stop().unwrap();
+        let est = m.estimates().unwrap();
+        assert_eq!(est.len(), 4);
+        for (e, v) in est {
+            assert!(v >= 0.0, "{e}: {v}");
+        }
+    }
+
+    #[test]
+    fn works_over_perfctr_backend_too() {
+        let mut m = Multiplexed::new(BackendKind::Perfctr, sys(), &FOUR, 9).unwrap();
+        m.start().unwrap();
+        m.system_mut().run_user_mix(&InstMix::straight_line(50_000));
+        m.rotate().unwrap();
+        m.system_mut().run_user_mix(&InstMix::straight_line(50_000));
+        m.stop().unwrap();
+        let est = m.estimate(PapiPreset::PAPI_TOT_INS).unwrap();
+        assert!(est > 50_000.0, "est = {est}");
+    }
+}

@@ -1,0 +1,133 @@
+//! Model-based property test of the PAPI low-level API: arbitrary call
+//! sequences against a reference state machine. Whatever the sequence,
+//! the real event set and the reference must agree on accept/reject, and
+//! accepted reads must be monotone while running.
+
+use counterlab_cpu::uarch::Processor;
+use counterlab_kernel::config::{KernelConfig, SkidModel};
+use counterlab_papi::{BackendKind, PapiLowLevel, PapiPreset};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Op {
+    AddEvent(PapiPreset),
+    Start,
+    Read,
+    Stop,
+    Reset,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        prop_oneof![
+            Just(PapiPreset::PAPI_TOT_INS),
+            Just(PapiPreset::PAPI_TOT_CYC),
+            Just(PapiPreset::PAPI_BR_INS),
+        ]
+        .prop_map(Op::AddEvent),
+        Just(Op::Start),
+        Just(Op::Read),
+        Just(Op::Stop),
+        Just(Op::Reset),
+    ]
+}
+
+/// Reference model of the event-set state machine.
+#[derive(Debug, Default)]
+struct Model {
+    events: Vec<PapiPreset>,
+    running: bool,
+}
+
+impl Model {
+    /// Whether the op should succeed, updating the model if so.
+    fn apply(&mut self, op: Op) -> bool {
+        match op {
+            Op::AddEvent(p) => {
+                if self.running || self.events.contains(&p) {
+                    false
+                } else {
+                    self.events.push(p);
+                    true
+                }
+            }
+            Op::Start => {
+                if self.running || self.events.is_empty() {
+                    false
+                } else {
+                    self.running = true;
+                    true
+                }
+            }
+            Op::Read => self.running,
+            Op::Stop => {
+                if self.running {
+                    self.running = false;
+                    true
+                } else {
+                    false
+                }
+            }
+            // PAPI_reset on a configured set succeeds whether running or
+            // not; on an empty set the backend rejects it.
+            Op::Reset => !self.events.is_empty(),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn papi_matches_reference_model(
+        kind_pc in any::<bool>(),
+        ops in prop::collection::vec(arb_op(), 1..30),
+        seed in any::<u64>(),
+    ) {
+        let kind = if kind_pc { BackendKind::Perfctr } else { BackendKind::Perfmon };
+        let kernel = KernelConfig::default()
+            .with_hz(0)
+            .with_skid(SkidModel::disabled());
+        let mut papi = PapiLowLevel::boot(kind, Processor::AthlonK8, kernel, seed).unwrap();
+        let mut model = Model::default();
+        let mut last_read: Option<Vec<u64>> = None;
+
+        for op in ops {
+            let should_succeed = model.apply(op);
+            let did_succeed = match op {
+                Op::AddEvent(p) => papi.add_event(p).is_ok(),
+                Op::Start => {
+                    last_read = None;
+                    papi.start().is_ok()
+                }
+                Op::Read => match papi.read() {
+                    Ok(values) => {
+                        prop_assert_eq!(values.len(), model.events.len());
+                        if let Some(prev) = &last_read {
+                            // Counter 0 (whatever it is) is monotone while
+                            // the set keeps running.
+                            prop_assert!(values[0] >= prev[0]);
+                        }
+                        last_read = Some(values);
+                        true
+                    }
+                    Err(_) => false,
+                },
+                Op::Stop => {
+                    last_read = None;
+                    papi.stop().is_ok()
+                }
+                Op::Reset => {
+                    last_read = None;
+                    papi.reset().is_ok()
+                }
+            };
+            prop_assert_eq!(
+                did_succeed,
+                should_succeed,
+                "op {:?} diverged from the reference model (events={:?}, running={})",
+                op, model.events, model.running
+            );
+        }
+    }
+}

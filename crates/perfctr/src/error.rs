@@ -1,0 +1,79 @@
+use std::error::Error;
+use std::fmt;
+
+use counterlab_cpu::CpuError;
+use counterlab_kernel::KernelError;
+
+/// Errors from the perfctr library and kernel extension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PerfctrError {
+    /// Propagated kernel/CPU failure.
+    Kernel(KernelError),
+    /// More counters requested than the processor provides.
+    TooManyCounters {
+        /// Counters requested.
+        requested: usize,
+        /// Counters available.
+        available: usize,
+    },
+    /// An operation that requires a prior `control` call.
+    NotConfigured,
+}
+
+impl fmt::Display for PerfctrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PerfctrError::Kernel(e) => write!(f, "perfctr: {e}"),
+            PerfctrError::TooManyCounters {
+                requested,
+                available,
+            } => write!(
+                f,
+                "perfctr: requested {requested} counters but only {available} exist"
+            ),
+            PerfctrError::NotConfigured => {
+                write!(f, "perfctr: no counters configured (call control first)")
+            }
+        }
+    }
+}
+
+impl Error for PerfctrError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PerfctrError::Kernel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<KernelError> for PerfctrError {
+    fn from(e: KernelError) -> Self {
+        PerfctrError::Kernel(e)
+    }
+}
+
+impl From<CpuError> for PerfctrError {
+    fn from(e: CpuError) -> Self {
+        PerfctrError::Kernel(KernelError::Cpu(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e = PerfctrError::from(CpuError::RdpmcNotEnabled);
+        assert!(e.to_string().contains("perfctr"));
+        assert!(Error::source(&e).is_some());
+        let t = PerfctrError::TooManyCounters {
+            requested: 5,
+            available: 2,
+        };
+        assert!(t.to_string().contains('5'));
+        assert!(Error::source(&PerfctrError::NotConfigured).is_none());
+    }
+}

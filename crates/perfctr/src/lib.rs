@@ -1,0 +1,32 @@
+//! # counterlab-perfctr
+//!
+//! A model of the **perfctr** kernel extension (Mikael Pettersson's patch,
+//! version 2.6.29) and its user-space library **libperfctr** — the `pc`
+//! interface of the paper *“Accuracy of Performance Counter Measurements”*.
+//!
+//! perfctr's defining feature, faithfully reproduced here, is the **fast
+//! user-mode read**: the kernel maps a per-thread state page into user
+//! space and enables `CR4.PCE`, so reading the virtualized counters is a
+//! handful of user-mode instructions (`rdtsc` + `rdpmc` per counter) with
+//! no kernel crossing. The catch — and the paper's Figure 4 finding — is
+//! that the fast path needs the TSC in the measurement set; disabling the
+//! TSC (“one less counter to read”, seemingly cheaper) forces every read
+//! through a system call and *increases* the measurement error by an order
+//! of magnitude.
+//!
+//! Entry point: [`vperfctr::Perfctr`]. Calibrated path costs:
+//! [`costs::PerfctrCosts`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod costs;
+pub mod vperfctr;
+
+mod error;
+
+pub use error::PerfctrError;
+pub use vperfctr::{CounterSample, Perfctr, PerfctrOptions};
+
+/// Result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, PerfctrError>;

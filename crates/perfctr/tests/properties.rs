@@ -1,0 +1,121 @@
+//! Property-based tests of the perfctr model.
+
+use counterlab_cpu::mix::InstMix;
+use counterlab_cpu::pmu::{CountMode, Event};
+use counterlab_cpu::uarch::Processor;
+use counterlab_kernel::config::{KernelConfig, SkidModel};
+use counterlab_perfctr::{Perfctr, PerfctrOptions};
+use proptest::prelude::*;
+
+fn arb_processor() -> impl Strategy<Value = Processor> {
+    prop_oneof![
+        Just(Processor::PentiumD),
+        Just(Processor::Core2Duo),
+        Just(Processor::AthlonK8),
+    ]
+}
+
+fn booted(p: Processor, tsc_on: bool, seed: u64) -> Perfctr {
+    Perfctr::boot(
+        p,
+        KernelConfig::default()
+            .with_hz(0)
+            .with_skid(SkidModel::disabled()),
+        PerfctrOptions { tsc_on, seed },
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The fast read path never enters the kernel, for any counter count
+    /// the processor supports and any seed.
+    #[test]
+    fn fast_read_never_syscalls(
+        p in arb_processor(),
+        n in 1usize..4,
+        reads in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let n = n.min(p.uarch().programmable_counters);
+        let mut pc = booted(p, true, seed);
+        let events: Vec<_> = Event::ALL[..n]
+            .iter()
+            .map(|e| (*e, CountMode::UserAndKernel))
+            .collect();
+        pc.control(&events).unwrap();
+        pc.start().unwrap();
+        let before = pc.system().syscall_count();
+        for _ in 0..reads {
+            let s = pc.read_ctrs().unwrap();
+            prop_assert_eq!(s.pmcs.len(), n);
+            prop_assert!(s.tsc.is_some());
+        }
+        prop_assert_eq!(pc.system().syscall_count(), before);
+    }
+
+    /// The slow read path always syscalls — once per read.
+    #[test]
+    fn slow_read_always_syscalls(p in arb_processor(), reads in 1usize..6, seed in any::<u64>()) {
+        let mut pc = booted(p, false, seed);
+        pc.control(&[(Event::InstructionsRetired, CountMode::UserAndKernel)]).unwrap();
+        pc.start().unwrap();
+        let before = pc.system().syscall_count();
+        for _ in 0..reads {
+            prop_assert!(pc.read_ctrs().unwrap().tsc.is_none());
+        }
+        prop_assert_eq!(pc.system().syscall_count(), before + reads as u64);
+    }
+
+    /// Measured benchmark work is exact regardless of the window costs:
+    /// (read after work) − (read before work) − (null window) == work.
+    #[test]
+    fn window_cost_cancels(
+        p in arb_processor(),
+        work in 1u64..1_000_000,
+        seed in any::<u64>(),
+    ) {
+        let run = |work: u64| {
+            let mut pc = booted(p, true, seed);
+            pc.control(&[(Event::InstructionsRetired, CountMode::UserOnly)]).unwrap();
+            pc.start().unwrap();
+            let c0 = pc.read_ctrs().unwrap().pmcs[0];
+            pc.system_mut().run_user_mix(&InstMix::straight_line(work));
+            let c1 = pc.read_ctrs().unwrap().pmcs[0];
+            c1 - c0
+        };
+        let null = run(0);
+        let with_work = run(work);
+        prop_assert_eq!(with_work - null, work);
+    }
+
+    /// Counter values are monotone across reads while running.
+    #[test]
+    fn reads_monotone(p in arb_processor(), tsc_on in any::<bool>(), seed in any::<u64>()) {
+        let mut pc = booted(p, tsc_on, seed);
+        pc.control(&[(Event::InstructionsRetired, CountMode::UserAndKernel)]).unwrap();
+        pc.start().unwrap();
+        let mut last = 0u64;
+        for _ in 0..5 {
+            let v = pc.read_ctrs().unwrap().pmcs[0];
+            prop_assert!(v >= last);
+            last = v;
+        }
+    }
+
+    /// Stopping freezes the counters: reads after stop return stable
+    /// values.
+    #[test]
+    fn stop_freezes(p in arb_processor(), seed in any::<u64>()) {
+        let mut pc = booted(p, true, seed);
+        pc.control(&[(Event::InstructionsRetired, CountMode::UserAndKernel)]).unwrap();
+        pc.start().unwrap();
+        pc.system_mut().run_user_mix(&InstMix::straight_line(1_000));
+        pc.stop().unwrap();
+        let a = pc.read_ctrs().unwrap().pmcs[0];
+        pc.system_mut().run_user_mix(&InstMix::straight_line(50_000));
+        let b = pc.read_ctrs().unwrap().pmcs[0];
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,510 @@
+//! The libpfm user-space API over the perfmon2 kernel interface.
+//!
+//! Modeled on libpfm 3.2-070725 with the perfmon2 2.6.22-070725 kernel
+//! patch (the exact versions of the paper's §3.3). A perfmon *context* is
+//! created and loaded onto the calling thread; counters are programmed with
+//! `pfm_write_pmcs`/`pfm_write_pmds` and controlled with
+//! `pfm_start`/`pfm_stop`; values are sampled with `pfm_read_pmds`. Every
+//! one of these is a system call — perfmon has no user-mode read.
+
+use counterlab_cpu::pmu::{CountMode, Event, PmcConfig};
+use counterlab_cpu::uarch::Processor;
+use counterlab_kernel::config::KernelConfig;
+use counterlab_kernel::syscall::lib_syscall;
+use counterlab_kernel::system::System;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::costs::{PathCost, PerfmonCosts};
+use crate::{PerfmonError, Result};
+
+/// Options for creating a perfmon context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PerfmonOptions {
+    /// Seed for per-call cost jitter.
+    pub seed: u64,
+}
+
+impl Default for PerfmonOptions {
+    fn default() -> Self {
+        PerfmonOptions { seed: 0x5DEE_CE66 }
+    }
+}
+
+/// A loaded per-thread perfmon2 context (libpfm's `pfm_context_t` plus the
+/// kernel file descriptor).
+///
+/// # Examples
+///
+/// ```
+/// use counterlab_perfmon::context::{Perfmon, PerfmonOptions};
+/// use counterlab_cpu::prelude::*;
+/// use counterlab_kernel::prelude::*;
+///
+/// # fn main() -> Result<(), counterlab_perfmon::PerfmonError> {
+/// let mut pm = Perfmon::boot(
+///     Processor::AthlonK8,
+///     KernelConfig::default(),
+///     PerfmonOptions::default(),
+/// )?;
+/// pm.write_pmcs(&[(Event::InstructionsRetired, CountMode::UserOnly)])?;
+/// pm.start()?;
+/// let c0 = pm.read_pmds()?[0];
+/// // ... benchmark would run here ...
+/// let c1 = pm.read_pmds()?[0];
+/// assert!(c1 >= c0);
+/// # Ok(()) }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Perfmon {
+    sys: System,
+    costs: PerfmonCosts,
+    rng: StdRng,
+    events: Vec<(Event, CountMode)>,
+    running: bool,
+}
+
+impl Perfmon {
+    /// Boots a fresh system with the perfmon2 kernel patch and creates and
+    /// loads a context for the calling thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel faults from context creation.
+    pub fn boot(
+        processor: Processor,
+        kernel: KernelConfig,
+        options: PerfmonOptions,
+    ) -> Result<Self> {
+        let sys = System::new(processor, kernel);
+        Self::attach(sys, options)
+    }
+
+    /// Creates and loads a perfmon context on an existing system.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel faults from context creation.
+    pub fn attach(mut sys: System, options: PerfmonOptions) -> Result<Self> {
+        let costs = PerfmonCosts::for_processor(sys.machine().processor());
+        sys.set_tick_extension_extra(costs.tick_extra);
+        let mut rng = StdRng::seed_from_u64(options.seed);
+        let path = jittered(&costs.create_context, &costs, &mut rng);
+        lib_syscall(
+            &mut sys,
+            path.wrapper_pre,
+            path.handler_pre,
+            path.handler_post,
+            path.wrapper_post,
+            |_| Ok(()),
+        )?;
+        Ok(Perfmon {
+            sys,
+            costs,
+            rng,
+            events: Vec::new(),
+            running: false,
+        })
+    }
+
+    /// The underlying system.
+    pub fn system(&self) -> &System {
+        &self.sys
+    }
+
+    /// Mutable system access.
+    pub fn system_mut(&mut self) -> &mut System {
+        &mut self.sys
+    }
+
+    /// Consumes the handle, returning the system.
+    pub fn into_system(self) -> System {
+        self.sys
+    }
+
+    /// The cost model in use.
+    pub fn costs(&self) -> &PerfmonCosts {
+        &self.costs
+    }
+
+    /// Whether counting is started.
+    pub fn is_running(&self) -> bool {
+        self.running
+    }
+
+    /// Number of programmed counters.
+    pub fn counter_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `pfm_write_pmcs` + `pfm_write_pmds`: programs the given events
+    /// (counting disabled until [`Perfmon::start`]).
+    ///
+    /// # Errors
+    ///
+    /// [`PerfmonError::TooManyCounters`] if the processor lacks registers.
+    pub fn write_pmcs(&mut self, events: &[(Event, CountMode)]) -> Result<()> {
+        let avail = self.sys.machine().pmu().programmable_count();
+        if events.len() > avail {
+            return Err(PerfmonError::TooManyCounters {
+                requested: events.len(),
+                available: avail,
+            });
+        }
+        let path = jittered(&self.costs.program, &self.costs, &mut self.rng);
+        let evs = events.to_vec();
+        lib_syscall(
+            &mut self.sys,
+            path.wrapper_pre,
+            path.handler_pre,
+            path.handler_post,
+            path.wrapper_post,
+            |m| {
+                for (i, (event, mode)) in evs.iter().enumerate() {
+                    m.pmu_mut().program(i, PmcConfig::disabled(*event, *mode))?;
+                }
+                Ok(())
+            },
+        )?;
+        self.events = events.to_vec();
+        self.running = false;
+        Ok(())
+    }
+
+    /// `pfm_start`: begins counting. The measured counter (index 0) is
+    /// enabled last; extra counters' enable work lands before the capture
+    /// point, and each extra counter slightly *shortens* the post-enable
+    /// tail (the paper's start-stop observation).
+    ///
+    /// # Errors
+    ///
+    /// [`PerfmonError::NotProgrammed`] without a prior
+    /// [`Perfmon::write_pmcs`].
+    pub fn start(&mut self) -> Result<()> {
+        if self.events.is_empty() {
+            return Err(PerfmonError::NotProgrammed);
+        }
+        let n = self.events.len() as u64;
+        let mut path = jittered(&self.costs.start, &self.costs, &mut self.rng);
+        path.handler_pre += self.costs.start_per_counter_pre * (n - 1);
+        path.handler_post = path
+            .handler_post
+            .saturating_sub(self.costs.start_per_counter_post_reduction * (n - 1));
+        let count = self.events.len();
+        lib_syscall(
+            &mut self.sys,
+            path.wrapper_pre,
+            path.handler_pre,
+            path.handler_post,
+            path.wrapper_post,
+            |m| {
+                for i in (0..count).rev() {
+                    m.pmu_mut().set_enabled(i, true)?;
+                }
+                Ok(())
+            },
+        )?;
+        self.running = true;
+        Ok(())
+    }
+
+    /// `pfm_stop`: stops counting (measured counter disabled first).
+    ///
+    /// # Errors
+    ///
+    /// [`PerfmonError::NotProgrammed`] without programming.
+    pub fn stop(&mut self) -> Result<()> {
+        if self.events.is_empty() {
+            return Err(PerfmonError::NotProgrammed);
+        }
+        let path = jittered(&self.costs.stop, &self.costs, &mut self.rng);
+        let count = self.events.len();
+        lib_syscall(
+            &mut self.sys,
+            path.wrapper_pre,
+            path.handler_pre,
+            path.handler_post,
+            path.wrapper_post,
+            |m| {
+                for i in 0..count {
+                    m.pmu_mut().set_enabled(i, false)?;
+                }
+                Ok(())
+            },
+        )?;
+        self.running = false;
+        Ok(())
+    }
+
+    /// `pfm_read_pmds`: samples all programmed counters through the kernel.
+    /// The per-PMD loop costs kernel instructions on both sides of the
+    /// measured counter's capture — the register-count sensitivity of the
+    /// paper's Figure 5.
+    ///
+    /// # Errors
+    ///
+    /// [`PerfmonError::NotProgrammed`] without programming.
+    pub fn read_pmds(&mut self) -> Result<Vec<u64>> {
+        if self.events.is_empty() {
+            return Err(PerfmonError::NotProgrammed);
+        }
+        let n = self.events.len() as u64;
+        let mut path = jittered(&self.costs.read, &self.costs, &mut self.rng);
+        path.handler_pre += self.costs.read_per_counter * (n - 1);
+        path.handler_post += self.costs.read_per_counter * (n - 1);
+        let count = self.events.len();
+        let values = lib_syscall(
+            &mut self.sys,
+            path.wrapper_pre,
+            path.handler_pre,
+            path.handler_post,
+            path.wrapper_post,
+            |m| {
+                let mut v = Vec::with_capacity(count);
+                for i in 0..count {
+                    v.push(m.pmu().read_pmc(i)?);
+                }
+                Ok(v)
+            },
+        )?;
+        Ok(values)
+    }
+
+    /// Zeroes the PMD values (a `pfm_write_pmds` with zero values).
+    ///
+    /// # Errors
+    ///
+    /// [`PerfmonError::NotProgrammed`] without programming.
+    pub fn reset(&mut self) -> Result<()> {
+        if self.events.is_empty() {
+            return Err(PerfmonError::NotProgrammed);
+        }
+        let path = jittered(&self.costs.reset, &self.costs, &mut self.rng);
+        let count = self.events.len();
+        lib_syscall(
+            &mut self.sys,
+            path.wrapper_pre,
+            path.handler_pre,
+            path.handler_post,
+            path.wrapper_post,
+            |m| {
+                for i in 0..count {
+                    m.pmu_mut().write_pmc(i, 0)?;
+                }
+                Ok(())
+            },
+        )?;
+        Ok(())
+    }
+}
+
+/// Applies per-call jitter to a path.
+fn jittered(path: &PathCost, costs: &PerfmonCosts, rng: &mut StdRng) -> PathCost {
+    let uj = rng.gen_range(0..=costs.user_jitter);
+    let kj = rng.gen_range(0..=costs.kernel_jitter);
+    PathCost {
+        wrapper_pre: path.wrapper_pre + uj / 2,
+        handler_pre: path.handler_pre + kj / 2,
+        handler_post: path.handler_post + kj - kj / 2,
+        wrapper_post: path.wrapper_post + uj - uj / 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet() -> KernelConfig {
+        KernelConfig::default()
+            .with_hz(0)
+            .with_skid(counterlab_kernel::config::SkidModel::disabled())
+    }
+
+    fn booted(p: Processor) -> Perfmon {
+        Perfmon::boot(p, quiet(), PerfmonOptions { seed: 1 }).unwrap()
+    }
+
+    #[test]
+    fn no_user_rdpmc_under_perfmon() {
+        // perfmon never enables CR4.PCE.
+        let pm = booted(Processor::Core2Duo);
+        assert!(!pm.system().machine().cr4_pce());
+    }
+
+    #[test]
+    fn every_operation_is_a_syscall() {
+        let mut pm = booted(Processor::AthlonK8);
+        let base = pm.system().syscall_count();
+        pm.write_pmcs(&[(Event::InstructionsRetired, CountMode::UserOnly)])
+            .unwrap();
+        pm.start().unwrap();
+        let _ = pm.read_pmds().unwrap();
+        pm.stop().unwrap();
+        pm.reset().unwrap();
+        assert_eq!(pm.system().syscall_count(), base + 5);
+    }
+
+    #[test]
+    fn read_read_user_window_is_37() {
+        // Table 3: pm / user / read-read median 37 (min 36). Our user-mode
+        // window is stub+wrapper on both sides: deterministic modulo the
+        // small jitter.
+        let mut pm = booted(Processor::Core2Duo);
+        pm.write_pmcs(&[(Event::InstructionsRetired, CountMode::UserOnly)])
+            .unwrap();
+        pm.start().unwrap();
+        let c0 = pm.read_pmds().unwrap()[0];
+        let c1 = pm.read_pmds().unwrap()[0];
+        let err = c1 - c0;
+        assert!((35..=45).contains(&err), "rr user error = {err}");
+    }
+
+    #[test]
+    fn read_read_user_kernel_window_is_726ish() {
+        let mut pm = booted(Processor::Core2Duo);
+        pm.write_pmcs(&[(Event::InstructionsRetired, CountMode::UserAndKernel)])
+            .unwrap();
+        pm.start().unwrap();
+        let c0 = pm.read_pmds().unwrap()[0];
+        let c1 = pm.read_pmds().unwrap()[0];
+        let err = c1 - c0;
+        assert!((700..=790).contains(&err), "rr u+k error = {err}");
+    }
+
+    #[test]
+    fn k8_read_read_user_kernel_573ish() {
+        let mut pm = booted(Processor::AthlonK8);
+        pm.write_pmcs(&[(Event::InstructionsRetired, CountMode::UserAndKernel)])
+            .unwrap();
+        pm.start().unwrap();
+        let c0 = pm.read_pmds().unwrap()[0];
+        let c1 = pm.read_pmds().unwrap()[0];
+        let err = c1 - c0;
+        assert!((550..=640).contains(&err), "K8 rr u+k error = {err}");
+    }
+
+    #[test]
+    fn extra_registers_add_about_112_each() {
+        let run = |n: usize| {
+            let mut pm = booted(Processor::AthlonK8);
+            let events: Vec<_> = [
+                (Event::InstructionsRetired, CountMode::UserAndKernel),
+                (Event::CoreCycles, CountMode::UserAndKernel),
+                (Event::BranchesRetired, CountMode::UserAndKernel),
+                (Event::ICacheMisses, CountMode::UserAndKernel),
+            ][..n]
+                .to_vec();
+            pm.write_pmcs(&events).unwrap();
+            pm.start().unwrap();
+            let c0 = pm.read_pmds().unwrap()[0];
+            let c1 = pm.read_pmds().unwrap()[0];
+            c1 - c0
+        };
+        let one = run(1);
+        let four = run(4);
+        let growth = four - one;
+        // Paper: 573 → 909 on K8 (≈112/register over 3 registers).
+        assert!((270..=400).contains(&growth), "growth = {growth}");
+    }
+
+    #[test]
+    fn user_error_register_independent() {
+        // Figure 5 top right: pm user error flat in the register count.
+        let run = |n: usize| {
+            let mut pm = booted(Processor::AthlonK8);
+            let events: Vec<_> = [
+                (Event::InstructionsRetired, CountMode::UserOnly),
+                (Event::CoreCycles, CountMode::UserOnly),
+                (Event::BranchesRetired, CountMode::UserOnly),
+                (Event::ICacheMisses, CountMode::UserOnly),
+            ][..n]
+                .to_vec();
+            pm.write_pmcs(&events).unwrap();
+            pm.start().unwrap();
+            let c0 = pm.read_pmds().unwrap()[0];
+            let c1 = pm.read_pmds().unwrap()[0];
+            c1 - c0
+        };
+        let one = run(1);
+        let four = run(4);
+        assert!(one.abs_diff(four) <= 8, "one={one} four={four}");
+    }
+
+    #[test]
+    fn start_stop_error_shrinks_with_registers() {
+        // §4.1: “when using start-stop, adding a counter can slightly
+        // reduce the error” (perfmon, user+kernel).
+        let run = |n: usize| {
+            let mut pm = booted(Processor::AthlonK8);
+            let events: Vec<_> = [
+                (Event::InstructionsRetired, CountMode::UserAndKernel),
+                (Event::CoreCycles, CountMode::UserAndKernel),
+                (Event::BranchesRetired, CountMode::UserAndKernel),
+                (Event::ICacheMisses, CountMode::UserAndKernel),
+            ][..n]
+                .to_vec();
+            pm.write_pmcs(&events).unwrap();
+            pm.start().unwrap();
+            pm.stop().unwrap();
+            pm.read_pmds().unwrap()[0]
+        };
+        let one = run(1);
+        let four = run(4);
+        assert!(four <= one, "one={one} four={four}");
+        assert!(one - four < 60, "reduction should be slight: {one}->{four}");
+    }
+
+    #[test]
+    fn operations_require_programming() {
+        let mut pm = booted(Processor::Core2Duo);
+        assert!(matches!(pm.start(), Err(PerfmonError::NotProgrammed)));
+        assert!(matches!(pm.stop(), Err(PerfmonError::NotProgrammed)));
+        assert!(matches!(pm.read_pmds(), Err(PerfmonError::NotProgrammed)));
+        assert!(matches!(pm.reset(), Err(PerfmonError::NotProgrammed)));
+    }
+
+    #[test]
+    fn too_many_counters_rejected() {
+        let mut pm = booted(Processor::Core2Duo);
+        let events: Vec<_> = (0..3)
+            .map(|_| (Event::InstructionsRetired, CountMode::UserOnly))
+            .collect();
+        assert!(matches!(
+            pm.write_pmcs(&events),
+            Err(PerfmonError::TooManyCounters {
+                requested: 3,
+                available: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn benchmark_instructions_counted_exactly() {
+        use counterlab_cpu::mix::InstMix;
+        let mut pm = booted(Processor::AthlonK8);
+        pm.write_pmcs(&[(Event::InstructionsRetired, CountMode::UserOnly)])
+            .unwrap();
+        pm.start().unwrap();
+        let c0 = pm.read_pmds().unwrap()[0];
+        pm.system_mut()
+            .run_user_mix(&InstMix::straight_line(50_000));
+        let c1 = pm.read_pmds().unwrap()[0];
+        let measured = c1 - c0;
+        assert!(measured >= 50_000);
+        assert!(measured < 50_100, "measured = {measured}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut pm = booted(Processor::Core2Duo);
+            pm.write_pmcs(&[(Event::InstructionsRetired, CountMode::UserAndKernel)])
+                .unwrap();
+            pm.start().unwrap();
+            let c0 = pm.read_pmds().unwrap()[0];
+            let c1 = pm.read_pmds().unwrap()[0];
+            c1 - c0
+        };
+        assert_eq!(run(), run());
+    }
+}

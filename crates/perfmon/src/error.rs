@@ -1,0 +1,76 @@
+use std::error::Error;
+use std::fmt;
+
+use counterlab_cpu::CpuError;
+use counterlab_kernel::KernelError;
+
+/// Errors from the perfmon2 library and kernel interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PerfmonError {
+    /// Propagated kernel/CPU failure.
+    Kernel(KernelError),
+    /// More counters requested than the processor provides.
+    TooManyCounters {
+        /// Counters requested.
+        requested: usize,
+        /// Counters available.
+        available: usize,
+    },
+    /// An operation that requires a prior `pfm_write_pmcs`.
+    NotProgrammed,
+}
+
+impl fmt::Display for PerfmonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PerfmonError::Kernel(e) => write!(f, "perfmon: {e}"),
+            PerfmonError::TooManyCounters {
+                requested,
+                available,
+            } => write!(
+                f,
+                "perfmon: requested {requested} counters but only {available} exist"
+            ),
+            PerfmonError::NotProgrammed => {
+                write!(f, "perfmon: no counters programmed (call write_pmcs first)")
+            }
+        }
+    }
+}
+
+impl Error for PerfmonError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PerfmonError::Kernel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<KernelError> for PerfmonError {
+    fn from(e: KernelError) -> Self {
+        PerfmonError::Kernel(e)
+    }
+}
+
+impl From<CpuError> for PerfmonError {
+    fn from(e: CpuError) -> Self {
+        PerfmonError::Kernel(KernelError::Cpu(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e = PerfmonError::from(CpuError::RdpmcNotEnabled);
+        assert!(e.to_string().contains("perfmon"));
+        assert!(Error::source(&e).is_some());
+        assert!(PerfmonError::NotProgrammed
+            .to_string()
+            .contains("write_pmcs"));
+    }
+}

@@ -1,0 +1,30 @@
+//! # counterlab-perfmon
+//!
+//! A model of the **perfmon2** kernel interface (Stéphane Eranian's patch,
+//! 2.6.22-070725) and its user-space library **libpfm 3.2** — the `pm`
+//! interface of the paper *“Accuracy of Performance Counter Measurements”*.
+//!
+//! perfmon2's design point is the opposite of perfctr's: *everything* is a
+//! system call (`pfm_start`, `pfm_stop`, `pfm_read_pmds`, …), and there is
+//! no user-mode read. Consequently its user-mode error contribution is
+//! tiny (Table 3: a median of 37 instructions for read-read — just the
+//! syscall stubs), while its user+kernel error is large (726), and reading
+//! more PMDs costs ≈112 extra instructions per additional register
+//! (Figure 5).
+//!
+//! Entry point: [`context::Perfmon`]. Calibrated path costs:
+//! [`costs::PerfmonCosts`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod costs;
+
+mod error;
+
+pub use context::{Perfmon, PerfmonOptions};
+pub use error::PerfmonError;
+
+/// Result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, PerfmonError>;

@@ -1,0 +1,115 @@
+//! Property-based tests of the perfmon2 model.
+
+use counterlab_cpu::mix::InstMix;
+use counterlab_cpu::pmu::{CountMode, Event};
+use counterlab_cpu::uarch::Processor;
+use counterlab_kernel::config::{KernelConfig, SkidModel};
+use counterlab_perfmon::{Perfmon, PerfmonOptions};
+use proptest::prelude::*;
+
+fn arb_processor() -> impl Strategy<Value = Processor> {
+    prop_oneof![
+        Just(Processor::PentiumD),
+        Just(Processor::Core2Duo),
+        Just(Processor::AthlonK8),
+    ]
+}
+
+fn booted(p: Processor, seed: u64) -> Perfmon {
+    Perfmon::boot(
+        p,
+        KernelConfig::default()
+            .with_hz(0)
+            .with_skid(SkidModel::disabled()),
+        PerfmonOptions { seed },
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every perfmon operation costs exactly one system call.
+    #[test]
+    fn one_syscall_per_operation(p in arb_processor(), rounds in 1usize..5, seed in any::<u64>()) {
+        let mut pm = booted(p, seed);
+        pm.write_pmcs(&[(Event::InstructionsRetired, CountMode::UserAndKernel)]).unwrap();
+        pm.start().unwrap();
+        let base = pm.system().syscall_count();
+        for _ in 0..rounds {
+            let _ = pm.read_pmds().unwrap();
+        }
+        prop_assert_eq!(pm.system().syscall_count(), base + rounds as u64);
+    }
+
+    /// The user-mode read-read window is platform-independent and tiny
+    /// (the Table 3 pm/37 property), for any seed.
+    #[test]
+    fn user_window_tiny_everywhere(p in arb_processor(), seed in any::<u64>()) {
+        let mut pm = booted(p, seed);
+        pm.write_pmcs(&[(Event::InstructionsRetired, CountMode::UserOnly)]).unwrap();
+        pm.start().unwrap();
+        let c0 = pm.read_pmds().unwrap()[0];
+        let c1 = pm.read_pmds().unwrap()[0];
+        let window = c1 - c0;
+        prop_assert!((35..=45).contains(&window), "window = {window}");
+    }
+
+    /// The kernel-side window grows linearly with the PMD count on every
+    /// platform (the Figure 5 mechanism), measured via user+kernel mode.
+    #[test]
+    fn kernel_window_linear_in_pmds(p in arb_processor(), seed in any::<u64>()) {
+        let window = |n: usize| {
+            let mut pm = booted(p, seed);
+            let events: Vec<_> = Event::ALL[..n]
+                .iter()
+                .map(|e| (*e, CountMode::UserAndKernel))
+                .collect();
+            pm.write_pmcs(&events).unwrap();
+            pm.start().unwrap();
+            let c0 = pm.read_pmds().unwrap()[0];
+            let c1 = pm.read_pmds().unwrap()[0];
+            (c1 - c0) as i64
+        };
+        let max = p.uarch().programmable_counters.min(4);
+        if max >= 2 {
+            let w1 = window(1);
+            let w2 = window(2);
+            let per = w2 - w1;
+            prop_assert!((80..=150).contains(&per), "per-PMD growth = {per}");
+            if max >= 3 {
+                let w3 = window(3);
+                // Linearity: the second increment matches the first ± jitter.
+                prop_assert!(((w3 - w2) - per).abs() <= 40, "increments {per} vs {}", w3 - w2);
+            }
+        }
+    }
+
+    /// Measured benchmark work is exact through the syscall read path.
+    #[test]
+    fn work_counts_exactly(p in arb_processor(), work in 1u64..2_000_000, seed in any::<u64>()) {
+        let run = |work: u64| {
+            let mut pm = booted(p, seed);
+            pm.write_pmcs(&[(Event::InstructionsRetired, CountMode::UserOnly)]).unwrap();
+            pm.start().unwrap();
+            let c0 = pm.read_pmds().unwrap()[0];
+            pm.system_mut().run_user_mix(&InstMix::straight_line(work));
+            let c1 = pm.read_pmds().unwrap()[0];
+            c1 - c0
+        };
+        prop_assert_eq!(run(work) - run(0), work);
+    }
+
+    /// Reset returns counters to zero regardless of prior state.
+    #[test]
+    fn reset_zeroes(p in arb_processor(), work in 0u64..100_000, seed in any::<u64>()) {
+        let mut pm = booted(p, seed);
+        pm.write_pmcs(&[(Event::InstructionsRetired, CountMode::UserOnly)]).unwrap();
+        pm.start().unwrap();
+        pm.system_mut().run_user_mix(&InstMix::straight_line(work));
+        pm.stop().unwrap();
+        pm.reset().unwrap();
+        // Counters are stopped and zeroed: the next read (syscall) sees 0.
+        prop_assert_eq!(pm.read_pmds().unwrap()[0], 0);
+    }
+}

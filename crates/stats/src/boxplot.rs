@@ -1,0 +1,243 @@
+//! Tukey box-plot summaries.
+//!
+//! Figures 4, 5, 6 and 9 of the paper are matrices of box plots of
+//! measurement errors. A [`BoxPlot`] captures exactly what those figures
+//! draw: the quartile box, the median line, whiskers extended to the most
+//! extreme data point within 1.5·IQR of the box, and individual outliers
+//! beyond the whiskers.
+
+use crate::error::check_sample;
+use crate::quantile::{quantile_sorted, QuantileMethod};
+use crate::Result;
+
+/// The whisker multiplier used by Tukey's original definition (and by R's
+/// `boxplot` with default `range = 1.5`).
+pub const TUKEY_WHISKER_FACTOR: f64 = 1.5;
+
+/// A five-number box-plot summary with outliers.
+///
+/// # Examples
+///
+/// ```
+/// use counterlab_stats::boxplot::BoxPlot;
+///
+/// let bp = BoxPlot::from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0, 100.0]).unwrap();
+/// assert_eq!(bp.outliers(), &[100.0]);
+/// assert!(bp.upper_whisker() <= 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoxPlot {
+    n: usize,
+    q1: f64,
+    median: f64,
+    q3: f64,
+    lower_whisker: f64,
+    upper_whisker: f64,
+    outliers: Vec<f64>,
+    mean: f64,
+}
+
+impl BoxPlot {
+    /// Builds a box plot from raw data using the Tukey 1.5·IQR whisker rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::StatsError::EmptyInput`] or
+    /// [`crate::StatsError::NonFinite`] for unusable samples.
+    pub fn from_slice(xs: &[f64]) -> Result<Self> {
+        Self::with_whisker_factor(xs, TUKEY_WHISKER_FACTOR)
+    }
+
+    /// Builds a box plot with a custom whisker factor (R's `range`
+    /// parameter). A factor of `0.0` extends whiskers to the data extremes
+    /// and classifies nothing as an outlier.
+    ///
+    /// # Errors
+    ///
+    /// As [`BoxPlot::from_slice`].
+    pub fn with_whisker_factor(xs: &[f64], factor: f64) -> Result<Self> {
+        check_sample(xs)?;
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("values checked finite"));
+        let q1 = quantile_sorted(&sorted, 0.25, QuantileMethod::Linear)?;
+        let median = quantile_sorted(&sorted, 0.5, QuantileMethod::Linear)?;
+        let q3 = quantile_sorted(&sorted, 0.75, QuantileMethod::Linear)?;
+        let iqr = q3 - q1;
+        let (lo_fence, hi_fence) = if factor > 0.0 {
+            (q1 - factor * iqr, q3 + factor * iqr)
+        } else {
+            (f64::NEG_INFINITY, f64::INFINITY)
+        };
+        // Whiskers snap to the most extreme observation inside the fence.
+        // When every observation on one side of the box is an outlier, the
+        // surviving extreme can land inside the box; clamp to the box edge
+        // so the five numbers stay ordered (the drawing convention).
+        let lower_whisker = sorted
+            .iter()
+            .cloned()
+            .find(|&x| x >= lo_fence)
+            .unwrap_or(sorted[0])
+            .min(q1);
+        let upper_whisker = sorted
+            .iter()
+            .rev()
+            .cloned()
+            .find(|&x| x <= hi_fence)
+            .unwrap_or(sorted[sorted.len() - 1])
+            .max(q3);
+        let outliers: Vec<f64> = sorted
+            .iter()
+            .cloned()
+            .filter(|&x| x < lo_fence || x > hi_fence)
+            .collect();
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        Ok(BoxPlot {
+            n: xs.len(),
+            q1,
+            median,
+            q3,
+            lower_whisker,
+            upper_whisker,
+            outliers,
+            mean,
+        })
+    }
+
+    /// Number of observations summarized.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// First quartile (bottom of the box).
+    pub fn q1(&self) -> f64 {
+        self.q1
+    }
+
+    /// Median (line inside the box).
+    pub fn median(&self) -> f64 {
+        self.median
+    }
+
+    /// Third quartile (top of the box).
+    pub fn q3(&self) -> f64 {
+        self.q3
+    }
+
+    /// Inter-quartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+
+    /// Lowest data point within the lower fence.
+    pub fn lower_whisker(&self) -> f64 {
+        self.lower_whisker
+    }
+
+    /// Highest data point within the upper fence.
+    pub fn upper_whisker(&self) -> f64 {
+        self.upper_whisker
+    }
+
+    /// Data points beyond the fences, in ascending order (the dots in the
+    /// paper's figures).
+    pub fn outliers(&self) -> &[f64] {
+        &self.outliers
+    }
+
+    /// Sample mean — drawn as the small square in Figure 9.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+}
+
+impl std::fmt::Display for BoxPlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{:.2} |{:.2} {:.2} {:.2}| {:.2}] ({} outliers, n={})",
+            self.lower_whisker,
+            self.q1,
+            self.median,
+            self.q3,
+            self.upper_whisker,
+            self.outliers.len(),
+            self.n
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_outliers_for_tight_data() {
+        let bp = BoxPlot::from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert!(bp.outliers().is_empty());
+        assert_eq!(bp.lower_whisker(), 1.0);
+        assert_eq!(bp.upper_whisker(), 5.0);
+        assert_eq!(bp.median(), 3.0);
+    }
+
+    #[test]
+    fn detects_single_outlier() {
+        let bp = BoxPlot::from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0, 1000.0]).unwrap();
+        assert_eq!(bp.outliers(), &[1000.0]);
+        assert!(bp.upper_whisker() <= 5.0);
+    }
+
+    #[test]
+    fn detects_low_outlier() {
+        let bp = BoxPlot::from_slice(&[-1000.0, 1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(bp.outliers(), &[-1000.0]);
+        assert_eq!(bp.lower_whisker(), 1.0);
+    }
+
+    #[test]
+    fn zero_factor_means_no_outliers() {
+        let bp = BoxPlot::with_whisker_factor(&[1.0, 2.0, 1000.0], 0.0).unwrap();
+        assert!(bp.outliers().is_empty());
+        assert_eq!(bp.upper_whisker(), 1000.0);
+    }
+
+    #[test]
+    fn singleton_sample() {
+        let bp = BoxPlot::from_slice(&[7.0]).unwrap();
+        assert_eq!(bp.median(), 7.0);
+        assert_eq!(bp.q1(), 7.0);
+        assert_eq!(bp.q3(), 7.0);
+        assert_eq!(bp.iqr(), 0.0);
+        assert!(bp.outliers().is_empty());
+    }
+
+    #[test]
+    fn constant_sample_has_zero_iqr_and_no_outliers() {
+        let bp = BoxPlot::from_slice(&[3.0; 100]).unwrap();
+        assert_eq!(bp.iqr(), 0.0);
+        assert!(bp.outliers().is_empty());
+        assert_eq!(bp.mean(), 3.0);
+    }
+
+    #[test]
+    fn whiskers_are_actual_data_points() {
+        // Whiskers must snap to observations, not to the fences themselves.
+        let xs = [0.0, 10.0, 20.0, 30.0, 40.0, 100.0];
+        let bp = BoxPlot::from_slice(&xs).unwrap();
+        assert!(xs.contains(&bp.lower_whisker()));
+        assert!(xs.contains(&bp.upper_whisker()));
+    }
+
+    #[test]
+    fn mean_tracked_for_figure9_squares() {
+        let bp = BoxPlot::from_slice(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(bp.mean(), 2.0);
+    }
+
+    #[test]
+    fn display_shows_counts() {
+        let bp = BoxPlot::from_slice(&[1.0, 2.0, 3.0, 4.0, 1000.0]).unwrap();
+        let s = bp.to_string();
+        assert!(s.contains("n=5"), "{s}");
+        assert!(s.contains("1 outliers"), "{s}");
+    }
+}

@@ -1,0 +1,83 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by statistical routines in this crate.
+///
+/// Every fallible public function in `counterlab-stats` returns this type so
+/// that callers can use `?` uniformly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// The input sample was empty but the statistic requires data.
+    EmptyInput,
+    /// Paired inputs (e.g. `x` and `y` of a regression) differ in length.
+    LengthMismatch {
+        /// Length of the first input.
+        left: usize,
+        /// Length of the second input.
+        right: usize,
+    },
+    /// The input contained a NaN or infinite value.
+    NonFinite,
+    /// A parameter was outside its valid domain (e.g. a probability not in
+    /// `[0, 1]`, or zero degrees of freedom).
+    InvalidParameter(&'static str),
+    /// The requested computation is degenerate for this input (e.g. a
+    /// regression through points with zero variance in `x`).
+    Degenerate(&'static str),
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptyInput => write!(f, "input sample is empty"),
+            StatsError::LengthMismatch { left, right } => {
+                write!(f, "input lengths differ: {left} vs {right}")
+            }
+            StatsError::NonFinite => write!(f, "input contains a non-finite value"),
+            StatsError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            StatsError::Degenerate(what) => write!(f, "degenerate computation: {what}"),
+        }
+    }
+}
+
+impl Error for StatsError {}
+
+/// Checks that a slice is non-empty and all-finite.
+pub(crate) fn check_sample(xs: &[f64]) -> crate::Result<()> {
+    if xs.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if xs.iter().any(|x| !x.is_finite()) {
+        return Err(StatsError::NonFinite);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(StatsError::EmptyInput.to_string(), "input sample is empty");
+        assert_eq!(
+            StatsError::LengthMismatch { left: 3, right: 5 }.to_string(),
+            "input lengths differ: 3 vs 5"
+        );
+        assert!(StatsError::InvalidParameter("df")
+            .to_string()
+            .contains("df"));
+    }
+
+    #[test]
+    fn check_sample_rejects_empty_and_nan() {
+        assert_eq!(check_sample(&[]), Err(StatsError::EmptyInput));
+        assert_eq!(check_sample(&[1.0, f64::NAN]), Err(StatsError::NonFinite));
+        assert_eq!(
+            check_sample(&[1.0, f64::INFINITY]),
+            Err(StatsError::NonFinite)
+        );
+        assert!(check_sample(&[0.0, -1.0, 2.5]).is_ok());
+    }
+}

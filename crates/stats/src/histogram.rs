@@ -1,0 +1,205 @@
+//! Fixed-width histograms, used by the report renderer to sketch
+//! distributions in text output.
+
+use crate::error::check_sample;
+use crate::{Result, StatsError};
+
+/// A fixed-width histogram over a closed range.
+///
+/// # Examples
+///
+/// ```
+/// use counterlab_stats::histogram::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+/// h.add(1.0);
+/// h.add(9.5);
+/// h.add(9.9);
+/// assert_eq!(h.counts(), &[1, 0, 0, 0, 2]);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    below: u64,
+    above: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless `lo < hi`, both are
+    /// finite, and `bins >= 1`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self> {
+        if !(lo.is_finite() && hi.is_finite()) || lo >= hi {
+            return Err(StatsError::InvalidParameter(
+                "histogram requires finite lo < hi",
+            ));
+        }
+        if bins == 0 {
+            return Err(StatsError::InvalidParameter("histogram requires bins >= 1"));
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            below: 0,
+            above: 0,
+        })
+    }
+
+    /// Builds a histogram spanning the data range of `xs`.
+    ///
+    /// # Errors
+    ///
+    /// Sample-validity errors as elsewhere; `bins >= 1` required. A constant
+    /// sample gets an artificial ±0.5 range.
+    pub fn from_slice(xs: &[f64], bins: usize) -> Result<Self> {
+        check_sample(xs)?;
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let (lo, hi) = if lo == hi {
+            (lo - 0.5, hi + 0.5)
+        } else {
+            (lo, hi)
+        };
+        let mut h = Histogram::new(lo, hi, bins)?;
+        for &x in xs {
+            h.add(x);
+        }
+        Ok(h)
+    }
+
+    /// Adds one observation. Values outside `[lo, hi]` are tallied in the
+    /// under/overflow counters; NaN is ignored.
+    pub fn add(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
+        if x < self.lo {
+            self.below += 1;
+        } else if x > self.hi {
+            self.above += 1;
+        } else {
+            let bins = self.counts.len();
+            let idx = (((x - self.lo) / (self.hi - self.lo)) * bins as f64) as usize;
+            self.counts[idx.min(bins - 1)] += 1;
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.below
+    }
+
+    /// Observations above the range.
+    pub fn overflow(&self) -> u64 {
+        self.above
+    }
+
+    /// Total in-range observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Lower bound of bin `i`.
+    pub fn bin_lo(&self, i: usize) -> f64 {
+        self.lo + (self.hi - self.lo) * i as f64 / self.counts.len() as f64
+    }
+
+    /// Upper bound of bin `i`.
+    pub fn bin_hi(&self, i: usize) -> f64 {
+        self.bin_lo(i + 1)
+    }
+
+    /// Index of the fullest bin.
+    pub fn mode_bin(&self) -> usize {
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bin_assignment() {
+        let mut h = Histogram::new(0.0, 4.0, 4).unwrap();
+        for &x in &[0.0, 0.5, 1.5, 2.5, 3.5, 4.0] {
+            h.add(x);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1, 2]); // 4.0 clamps into last bin
+    }
+
+    #[test]
+    fn out_of_range_counted_separately() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.add(-5.0);
+        h.add(0.5);
+        h.add(99.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 1);
+    }
+
+    #[test]
+    fn nan_ignored() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.add(f64::NAN);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.underflow() + h.overflow(), 0);
+    }
+
+    #[test]
+    fn from_slice_spans_data() {
+        let h = Histogram::from_slice(&[2.0, 4.0, 6.0], 2).unwrap();
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.underflow() + h.overflow(), 0);
+    }
+
+    #[test]
+    fn constant_sample_ok() {
+        let h = Histogram::from_slice(&[7.0; 5], 3).unwrap();
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(2.0, 1.0, 4).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn bin_bounds() {
+        let h = Histogram::new(0.0, 10.0, 5).unwrap();
+        assert_eq!(h.bin_lo(0), 0.0);
+        assert_eq!(h.bin_hi(0), 2.0);
+        assert_eq!(h.bin_lo(4), 8.0);
+        assert_eq!(h.bin_hi(4), 10.0);
+    }
+
+    #[test]
+    fn mode_bin_finds_peak() {
+        let mut h = Histogram::new(0.0, 3.0, 3).unwrap();
+        for _ in 0..5 {
+            h.add(1.5);
+        }
+        h.add(0.5);
+        assert_eq!(h.mode_bin(), 1);
+    }
+}

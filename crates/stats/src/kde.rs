@@ -1,0 +1,217 @@
+//! Gaussian kernel density estimation.
+//!
+//! Figure 1 of the paper is a pair of *violin plots* — box plots overlaid
+//! with a kernel density trace (Hintze & Nelson 1998). [`Kde`] provides the
+//! density trace; [`crate::violin::Violin`] combines it with a
+//! [`crate::boxplot::BoxPlot`].
+
+use crate::error::check_sample;
+use crate::{Result, StatsError};
+
+/// A Gaussian kernel density estimate over a sample.
+///
+/// # Examples
+///
+/// ```
+/// use counterlab_stats::kde::Kde;
+///
+/// let data = [0.0, 0.1, -0.1, 0.05, 5.0, 5.1, 4.9];
+/// let kde = Kde::from_slice(&data).unwrap();
+/// // Density near the clusters beats density in the gap.
+/// assert!(kde.density(0.0) > kde.density(2.5));
+/// assert!(kde.density(5.0) > kde.density(2.5));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kde {
+    data: Vec<f64>,
+    bandwidth: f64,
+}
+
+impl Kde {
+    /// Builds a KDE using Silverman's rule-of-thumb bandwidth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::StatsError::EmptyInput`] / [`StatsError::NonFinite`]
+    /// for unusable samples.
+    pub fn from_slice(xs: &[f64]) -> Result<Self> {
+        let bw = silverman_bandwidth(xs)?;
+        Self::with_bandwidth(xs, bw)
+    }
+
+    /// Builds a KDE with an explicit bandwidth.
+    ///
+    /// # Errors
+    ///
+    /// As [`Kde::from_slice`], plus [`StatsError::InvalidParameter`] when the
+    /// bandwidth is not strictly positive.
+    pub fn with_bandwidth(xs: &[f64], bandwidth: f64) -> Result<Self> {
+        check_sample(xs)?;
+        if !bandwidth.is_finite() || bandwidth <= 0.0 {
+            return Err(StatsError::InvalidParameter("bandwidth must be > 0"));
+        }
+        Ok(Kde {
+            data: xs.to_vec(),
+            bandwidth,
+        })
+    }
+
+    /// The bandwidth in use.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Number of observations behind the estimate.
+    pub fn n(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Estimated density at `x`.
+    pub fn density(&self, x: f64) -> f64 {
+        let h = self.bandwidth;
+        let norm = 1.0 / ((2.0 * std::f64::consts::PI).sqrt() * h * self.data.len() as f64);
+        self.data
+            .iter()
+            .map(|&xi| {
+                let z = (x - xi) / h;
+                (-0.5 * z * z).exp()
+            })
+            .sum::<f64>()
+            * norm
+    }
+
+    /// Evaluates the density on `points` evenly spaced positions spanning
+    /// `[min - 3h, max + 3h]` — the trace a violin plot draws.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] when `points < 2`.
+    pub fn trace(&self, points: usize) -> Result<Vec<(f64, f64)>> {
+        if points < 2 {
+            return Err(StatsError::InvalidParameter("trace requires >= 2 points"));
+        }
+        let lo = self.data.iter().cloned().fold(f64::INFINITY, f64::min) - 3.0 * self.bandwidth;
+        let hi = self.data.iter().cloned().fold(f64::NEG_INFINITY, f64::max) + 3.0 * self.bandwidth;
+        let step = (hi - lo) / (points - 1) as f64;
+        Ok((0..points)
+            .map(|i| {
+                let x = lo + i as f64 * step;
+                (x, self.density(x))
+            })
+            .collect())
+    }
+}
+
+/// Silverman's rule-of-thumb bandwidth:
+/// `0.9 · min(sd, IQR/1.34) · n^(-1/5)`, with fallbacks for degenerate
+/// spreads so constant samples still get a usable (tiny) bandwidth.
+///
+/// # Errors
+///
+/// Returns [`crate::StatsError::EmptyInput`] / [`StatsError::NonFinite`] for
+/// unusable samples.
+pub fn silverman_bandwidth(xs: &[f64]) -> Result<f64> {
+    check_sample(xs)?;
+    let n = xs.len() as f64;
+    let sd = if xs.len() >= 2 {
+        crate::descriptive::std_dev(xs)?
+    } else {
+        0.0
+    };
+    let summary = crate::descriptive::Summary::from_slice(xs)?;
+    let iqr = summary.iqr();
+    let mut spread = if iqr > 0.0 { sd.min(iqr / 1.34) } else { sd };
+    if spread <= 0.0 {
+        spread = sd.max(iqr / 1.34);
+    }
+    if spread <= 0.0 {
+        // Constant sample: any positive bandwidth gives a spike at the value.
+        spread = summary.mean().abs().max(1.0) * 1e-3;
+    }
+    Ok(0.9 * spread * n.powf(-0.2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_integrates_to_one() {
+        let data = [1.0, 2.0, 2.5, 3.0, 10.0];
+        let kde = Kde::from_slice(&data).unwrap();
+        // Trapezoidal integration over a wide range.
+        let lo = -20.0;
+        let hi = 40.0;
+        let steps = 4000;
+        let dx = (hi - lo) / steps as f64;
+        let mut integral = 0.0;
+        for i in 0..steps {
+            let x0 = lo + i as f64 * dx;
+            integral += 0.5 * (kde.density(x0) + kde.density(x0 + dx)) * dx;
+        }
+        assert!((integral - 1.0).abs() < 1e-3, "integral = {integral}");
+    }
+
+    #[test]
+    fn density_peaks_at_data() {
+        let kde = Kde::with_bandwidth(&[0.0], 1.0).unwrap();
+        assert!(kde.density(0.0) > kde.density(1.0));
+        assert!(kde.density(1.0) > kde.density(3.0));
+        // Standard normal kernel peak value.
+        assert!((kde.density(0.0) - 1.0 / (2.0 * std::f64::consts::PI).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bimodal_data_bimodal_density() {
+        let mut data = Vec::new();
+        for i in 0..50 {
+            data.push(i as f64 * 0.01); // cluster near 0
+            data.push(10.0 + i as f64 * 0.01); // cluster near 10
+        }
+        let kde = Kde::from_slice(&data).unwrap();
+        let mid = kde.density(5.0);
+        assert!(kde.density(0.25) > 5.0 * mid);
+        assert!(kde.density(10.25) > 5.0 * mid);
+    }
+
+    #[test]
+    fn trace_spans_data() {
+        let kde = Kde::from_slice(&[0.0, 1.0, 2.0]).unwrap();
+        let trace = kde.trace(64).unwrap();
+        assert_eq!(trace.len(), 64);
+        assert!(trace.first().unwrap().0 < 0.0);
+        assert!(trace.last().unwrap().0 > 2.0);
+        // Densities are non-negative everywhere.
+        assert!(trace.iter().all(|&(_, d)| d >= 0.0));
+    }
+
+    #[test]
+    fn invalid_bandwidth_rejected() {
+        assert!(Kde::with_bandwidth(&[1.0], 0.0).is_err());
+        assert!(Kde::with_bandwidth(&[1.0], -1.0).is_err());
+        assert!(Kde::with_bandwidth(&[1.0], f64::NAN).is_err());
+    }
+
+    #[test]
+    fn trace_needs_two_points() {
+        let kde = Kde::from_slice(&[1.0, 2.0]).unwrap();
+        assert!(kde.trace(1).is_err());
+    }
+
+    #[test]
+    fn silverman_shrinks_with_n() {
+        let small: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let large: Vec<f64> = (0..10_000).map(|i| (i % 10) as f64).collect();
+        let bw_small = silverman_bandwidth(&small).unwrap();
+        let bw_large = silverman_bandwidth(&large).unwrap();
+        assert!(bw_large < bw_small);
+    }
+
+    #[test]
+    fn constant_sample_gets_positive_bandwidth() {
+        let bw = silverman_bandwidth(&[5.0; 20]).unwrap();
+        assert!(bw > 0.0);
+        let kde = Kde::from_slice(&[5.0; 20]).unwrap();
+        assert!(kde.density(5.0) > kde.density(6.0));
+    }
+}

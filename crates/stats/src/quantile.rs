@@ -1,0 +1,178 @@
+//! Quantile estimation.
+//!
+//! The paper reports medians and quartiles of error distributions (e.g.
+//! Table 3's “Median” column, and the box plots of Figures 4–6). We follow
+//! R's default *type 7* (linear interpolation) definition so our numbers are
+//! directly comparable to those produced by the authors' R scripts.
+
+use crate::error::check_sample;
+use crate::{Result, StatsError};
+
+/// How to interpolate between order statistics when the requested quantile
+/// falls between two data points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QuantileMethod {
+    /// R type 7 (default in R, NumPy): linear interpolation between the two
+    /// nearest order statistics.
+    #[default]
+    Linear,
+    /// R type 1: inverse of the empirical CDF (lower order statistic).
+    Lower,
+    /// Nearest order statistic (ties round half up).
+    Nearest,
+}
+
+/// Computes the `p`-quantile of `xs` (unsorted input).
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] / [`StatsError::NonFinite`] for bad
+/// samples and [`StatsError::InvalidParameter`] if `p ∉ [0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use counterlab_stats::quantile::{quantile, QuantileMethod};
+///
+/// let q = quantile(&[3.0, 1.0, 2.0, 4.0], 0.5, QuantileMethod::Linear).unwrap();
+/// assert_eq!(q, 2.5);
+/// ```
+pub fn quantile(xs: &[f64], p: f64, method: QuantileMethod) -> Result<f64> {
+    check_sample(xs)?;
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values checked finite"));
+    quantile_sorted(&sorted, p, method)
+}
+
+/// Computes the `p`-quantile of an already-sorted slice.
+///
+/// This is the allocation-free fast path used by [`crate::boxplot::BoxPlot`]
+/// when it has already sorted the sample once.
+///
+/// # Errors
+///
+/// As [`quantile`]. The slice is trusted to be sorted; passing an unsorted
+/// slice yields a well-defined but meaningless value.
+pub fn quantile_sorted(sorted: &[f64], p: f64, method: QuantileMethod) -> Result<f64> {
+    if sorted.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if !(0.0..=1.0).contains(&p) {
+        return Err(StatsError::InvalidParameter("quantile p must be in [0, 1]"));
+    }
+    let n = sorted.len();
+    match method {
+        QuantileMethod::Linear => {
+            let h = (n as f64 - 1.0) * p;
+            let lo = h.floor() as usize;
+            let hi = h.ceil() as usize;
+            let frac = h - lo as f64;
+            Ok(sorted[lo] + frac * (sorted[hi] - sorted[lo]))
+        }
+        QuantileMethod::Lower => {
+            let h = (n as f64 * p).ceil() as usize;
+            Ok(sorted[h.saturating_sub(1).min(n - 1)])
+        }
+        QuantileMethod::Nearest => {
+            let h = (n as f64 - 1.0) * p;
+            Ok(sorted[(h + 0.5).floor() as usize])
+        }
+    }
+}
+
+/// Median shorthand: `quantile(xs, 0.5, Linear)`.
+///
+/// # Errors
+///
+/// As [`quantile`].
+///
+/// # Examples
+///
+/// ```
+/// let m = counterlab_stats::quantile::median(&[1.0, 5.0, 3.0]).unwrap();
+/// assert_eq!(m, 3.0);
+/// ```
+pub fn median(xs: &[f64]) -> Result<f64> {
+    quantile(xs, 0.5, QuantileMethod::Linear)
+}
+
+/// Computes several quantiles at once over a single sorted copy.
+///
+/// # Errors
+///
+/// As [`quantile`]; fails on the first invalid `p`.
+pub fn quantiles(xs: &[f64], ps: &[f64], method: QuantileMethod) -> Result<Vec<f64>> {
+    check_sample(xs)?;
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values checked finite"));
+    ps.iter()
+        .map(|&p| quantile_sorted(&sorted, p, method))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[1.0, 2.0, 3.0]).unwrap(), 2.0);
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn extremes_are_min_max() {
+        let xs = [9.0, 1.0, 5.0];
+        assert_eq!(quantile(&xs, 0.0, QuantileMethod::Linear).unwrap(), 1.0);
+        assert_eq!(quantile(&xs, 1.0, QuantileMethod::Linear).unwrap(), 9.0);
+    }
+
+    #[test]
+    fn type7_interpolation_matches_r() {
+        // R: quantile(1:10, 0.3) == 3.7
+        let xs: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let q = quantile(&xs, 0.3, QuantileMethod::Linear).unwrap();
+        assert!((q - 3.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_method_picks_order_statistic() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.5, QuantileMethod::Lower).unwrap(), 2.0);
+        assert_eq!(quantile(&xs, 0.0, QuantileMethod::Lower).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn nearest_method() {
+        let xs = [10.0, 20.0, 30.0];
+        assert_eq!(quantile(&xs, 0.4, QuantileMethod::Nearest).unwrap(), 20.0);
+    }
+
+    #[test]
+    fn out_of_range_p_rejected() {
+        assert!(matches!(
+            quantile(&[1.0], 1.5, QuantileMethod::Linear),
+            Err(StatsError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            quantile(&[1.0], -0.1, QuantileMethod::Linear),
+            Err(StatsError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn quantiles_batch_consistent_with_single() {
+        let xs = [4.0, 8.0, 15.0, 16.0, 23.0, 42.0];
+        let ps = [0.25, 0.5, 0.75];
+        let batch = quantiles(&xs, &ps, QuantileMethod::Linear).unwrap();
+        for (p, q) in ps.iter().zip(&batch) {
+            assert_eq!(*q, quantile(&xs, *p, QuantileMethod::Linear).unwrap());
+        }
+    }
+
+    #[test]
+    fn unsorted_input_handled() {
+        let q = quantile(&[5.0, 1.0, 4.0, 2.0, 3.0], 0.5, QuantileMethod::Linear).unwrap();
+        assert_eq!(q, 3.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Violin-plot summaries: a box plot combined with a density trace
+//! (Hintze & Nelson 1998), as used by the paper's Figure 1.
+
+use crate::boxplot::BoxPlot;
+use crate::kde::Kde;
+use crate::Result;
+
+/// A violin-plot summary of a sample.
+///
+/// # Examples
+///
+/// ```
+/// use counterlab_stats::violin::Violin;
+///
+/// let data: Vec<f64> = (0..200).map(|i| (i % 20) as f64).collect();
+/// let v = Violin::from_slice(&data).unwrap();
+/// assert_eq!(v.boxplot().n(), 200);
+/// assert!(!v.trace(32).unwrap().is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violin {
+    boxplot: BoxPlot,
+    kde: Kde,
+}
+
+impl Violin {
+    /// Builds a violin summary (box plot + Silverman-bandwidth KDE).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sample-validity errors of [`BoxPlot::from_slice`] and
+    /// [`Kde::from_slice`].
+    pub fn from_slice(xs: &[f64]) -> Result<Self> {
+        Ok(Violin {
+            boxplot: BoxPlot::from_slice(xs)?,
+            kde: Kde::from_slice(xs)?,
+        })
+    }
+
+    /// The box-plot component.
+    pub fn boxplot(&self) -> &BoxPlot {
+        &self.boxplot
+    }
+
+    /// The density component.
+    pub fn kde(&self) -> &Kde {
+        &self.kde
+    }
+
+    /// Density trace with `points` samples — the violin outline.
+    ///
+    /// # Errors
+    ///
+    /// As [`Kde::trace`].
+    pub fn trace(&self, points: usize) -> Result<Vec<(f64, f64)>> {
+        self.kde.trace(points)
+    }
+
+    /// The value with the highest estimated density along a trace of the
+    /// given resolution — where the violin is widest.
+    ///
+    /// # Errors
+    ///
+    /// As [`Kde::trace`].
+    pub fn mode(&self, resolution: usize) -> Result<f64> {
+        let trace = self.trace(resolution)?;
+        Ok(trace
+            .iter()
+            .cloned()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("densities are finite"))
+            .map(|(x, _)| x)
+            .expect("trace is non-empty"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_near_cluster() {
+        let mut data = vec![];
+        for i in 0..100 {
+            data.push(42.0 + (i % 5) as f64 * 0.01);
+        }
+        data.push(0.0); // lone outlier
+        let v = Violin::from_slice(&data).unwrap();
+        let mode = v.mode(512).unwrap();
+        assert!((mode - 42.0).abs() < 1.0, "mode = {mode}");
+    }
+
+    #[test]
+    fn components_agree_on_n() {
+        let data = [1.0, 2.0, 3.0];
+        let v = Violin::from_slice(&data).unwrap();
+        assert_eq!(v.boxplot().n(), v.kde().n());
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(Violin::from_slice(&[]).is_err());
+    }
+}

@@ -1,0 +1,52 @@
+//! Compare the six counter-access interfaces on the null benchmark and
+//! print a Table-3-style report with the paper's §8 recommendation.
+//!
+//! Run with `cargo run --example compare_infrastructures [reps]`.
+
+use counterlab::experiments::infrastructure;
+use counterlab::interface::{CountingMode, Interface};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let reps: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(5);
+
+    eprintln!("running the Figure 6 / Table 3 sweep (reps = {reps})...");
+    let fig = infrastructure::run(reps)?;
+    println!("{}", fig.render_table3());
+    println!("{}", fig.render_fig6());
+
+    // The paper's guideline (§4.2/§8): perfmon for user-only counts,
+    // perfctr for user+kernel counts — no matter whether PAPI is on top.
+    let pm_user = fig
+        .row(Interface::Pm, CountingMode::User)
+        .expect("row exists")
+        .median();
+    let pc_user = fig
+        .row(Interface::Pc, CountingMode::User)
+        .expect("row exists")
+        .median();
+    let pm_uk = fig
+        .row(Interface::Pm, CountingMode::UserKernel)
+        .expect("row exists")
+        .median();
+    let pc_uk = fig
+        .row(Interface::Pc, CountingMode::UserKernel)
+        .expect("row exists")
+        .median();
+
+    println!("Recommendation (per the paper's guidelines):");
+    println!(
+        "  user-only measurements:   use perfmon  (median {pm_user:.0} vs perfctr {pc_user:.0})"
+    );
+    println!(
+        "  user+kernel measurements: use perfctr  (median {pc_uk:.0} vs perfmon {pm_uk:.0}, \
+         a {:.0}% reduction)",
+        100.0 * (1.0 - pc_uk / pm_uk)
+    );
+    println!("  and prefer the direct libraries over PAPI when the extra");
+    println!("  ~100–200 instructions per call matter for your phase length.");
+    Ok(())
+}

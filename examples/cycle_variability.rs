@@ -1,0 +1,62 @@
+//! Section 6's warning, demonstrated: cycle counts for the *same* loop
+//! vary by 50%+ across builds, because code placement — not the
+//! measurement infrastructure — selects the cycles-per-iteration class.
+//!
+//! Run with `cargo run --example cycle_variability`.
+
+use counterlab::benchmark::Benchmark;
+use counterlab::config::{MeasurementConfig, OptLevel};
+use counterlab::interface::{CountingMode, Interface};
+use counterlab::measure::{placement_for, run_measurement};
+use counterlab::pattern::Pattern;
+use counterlab::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let iters = 1_000_000;
+    println!(
+        "measuring {iters} loop iterations on the Athlon 64 X2 (K8) with\n\
+         perfmon, once per (pattern x optimization level) build:\n"
+    );
+    println!(
+        "{:<12} {:>6} {:>14} {:>10} {:>18}",
+        "pattern", "opt", "cycles", "cyc/iter", "placement"
+    );
+    let mut cpis: Vec<f64> = Vec::new();
+    for pattern in Pattern::ALL {
+        for opt in OptLevel::ALL {
+            let cfg = MeasurementConfig::new(Processor::AthlonK8, Interface::Pm)
+                .with_pattern(pattern)
+                .with_opt_level(opt)
+                .with_mode(CountingMode::UserKernel)
+                .with_event(Event::CoreCycles);
+            let bench = Benchmark::Loop { iters };
+            let rec = run_measurement(&cfg, bench)?;
+            let cpi = rec.measured as f64 / iters as f64;
+            cpis.push(cpi);
+            println!(
+                "{:<12} {:>6} {:>14} {:>10.3} {:>#18x}",
+                pattern.code(),
+                opt.flag(),
+                rec.measured,
+                cpi,
+                placement_for(&cfg, &bench).base_address()
+            );
+        }
+    }
+    let lo = cpis.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = cpis.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    println!();
+    println!(
+        "cycles/iteration spread across builds: {lo:.2} .. {hi:.2} ({:.0}%)",
+        100.0 * (hi - lo) / lo
+    );
+    println!();
+    println!(
+        "Same loop, same processor, same infrastructure — yet the cycle\n\
+         count differs by integer factors depending only on where the\n\
+         build placed the loop (Figures 11/12). “We caution performance\n\
+         analysts to be suspicious of cycle counts … gathered with\n\
+         performance counters.”"
+    );
+    Ok(())
+}

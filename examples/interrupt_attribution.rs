@@ -1,0 +1,73 @@
+//! Section 5, demonstrated: the longer a measured region runs, the more
+//! timer-interrupt handler instructions get attributed to its user+kernel
+//! counts — while user-only counts stay exact.
+//!
+//! Run with `cargo run --example interrupt_attribution`.
+
+use counterlab::benchmark::Benchmark;
+use counterlab::config::MeasurementConfig;
+use counterlab::interface::{CountingMode, Interface};
+use counterlab::measure::run_measurement;
+use counterlab::prelude::*;
+use counterlab::stats::regression::LinearFit;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sizes = [1_000_000u64, 5_000_000, 10_000_000, 20_000_000, 50_000_000];
+    let reps = 8;
+
+    println!("perfctr on Core 2 Duo, loop benchmark, averaged over {reps} runs:\n");
+    println!(
+        "{:>12} {:>14} {:>22} {:>16}",
+        "iterations", "expected", "user+kernel error", "user error"
+    );
+
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for &iters in &sizes {
+        let mut uk_sum = 0i64;
+        let mut u_sum = 0i64;
+        for rep in 0..reps {
+            let seed = 0xA77E ^ iters ^ (rep as u64) << 40;
+            let uk = run_measurement(
+                &MeasurementConfig::new(Processor::Core2Duo, Interface::Pc)
+                    .with_mode(CountingMode::UserKernel)
+                    .with_seed(seed),
+                Benchmark::Loop { iters },
+            )?;
+            let u = run_measurement(
+                &MeasurementConfig::new(Processor::Core2Duo, Interface::Pc)
+                    .with_mode(CountingMode::User)
+                    .with_seed(seed),
+                Benchmark::Loop { iters },
+            )?;
+            uk_sum += uk.error();
+            u_sum += u.error();
+            xs.push(iters as f64);
+            ys.push(uk.error() as f64);
+        }
+        println!(
+            "{:>12} {:>14} {:>22.1} {:>16.1}",
+            iters,
+            1 + 3 * iters,
+            uk_sum as f64 / reps as f64,
+            u_sum as f64 / reps as f64
+        );
+    }
+
+    let fit = LinearFit::fit(&xs, &ys)?;
+    println!();
+    println!(
+        "regression: error ≈ {:.1} + {:.6}·iterations  (R² = {:.3})",
+        fit.intercept(),
+        fit.slope(),
+        fit.r_squared()
+    );
+    println!();
+    println!(
+        "The slope is the per-iteration error of Figure 7 (paper: ≈0.002\n\
+         for perfctr on the Core 2 Duo): timer interrupts run in kernel\n\
+         mode and their instructions are attributed to whatever thread\n\
+         they preempt. User-only counts are immune — §5's conclusion."
+    );
+    Ok(())
+}

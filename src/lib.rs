@@ -1,0 +1,5 @@
+//! Workspace façade for the `counterlab` reproduction. The root package
+//! exists to host the runnable examples (`examples/`) and the cross-crate
+//! integration tests (`tests/`); all functionality lives in the member
+//! crates, re-exported by [`counterlab`].
+pub use counterlab;

@@ -1,0 +1,214 @@
+//! Integration tests for the paper's §8 guidelines: each guideline is a
+//! falsifiable claim about the system; these tests verify our reproduction
+//! exhibits every one of them.
+
+use counterlab::benchmark::Benchmark;
+use counterlab::config::MeasurementConfig;
+use counterlab::interface::{CountingMode, Interface};
+use counterlab::measure::run_measurement;
+use counterlab::pattern::Pattern;
+use counterlab::prelude::*;
+
+/// Guideline: “turning off the time stamp counter when measuring with
+/// perfctr … will lead to a degradation of accuracy”.
+#[test]
+fn guideline_tsc_off_degrades_perfctr() {
+    for pattern in [Pattern::ReadRead, Pattern::ReadStop, Pattern::StartRead] {
+        let on = run_measurement(
+            &MeasurementConfig::new(Processor::Core2Duo, Interface::Pc)
+                .with_pattern(pattern)
+                .with_tsc(true)
+                .with_mode(CountingMode::UserKernel)
+                .with_hz(0),
+            Benchmark::Null,
+        )
+        .expect("tsc on");
+        let off = run_measurement(
+            &MeasurementConfig::new(Processor::Core2Duo, Interface::Pc)
+                .with_pattern(pattern)
+                .with_tsc(false)
+                .with_mode(CountingMode::UserKernel)
+                .with_hz(0),
+            Benchmark::Null,
+        )
+        .expect("tsc off");
+        assert!(
+            off.error() > on.error(),
+            "{pattern}: off {} should exceed on {}",
+            off.error(),
+            on.error()
+        );
+    }
+    // start-stop contains no read and is unaffected (±jitter).
+    let on = run_measurement(
+        &MeasurementConfig::new(Processor::Core2Duo, Interface::Pc)
+            .with_pattern(Pattern::StartStop)
+            .with_tsc(true)
+            .with_mode(CountingMode::UserKernel)
+            .with_hz(0),
+        Benchmark::Null,
+    )
+    .expect("on");
+    let off = run_measurement(
+        &MeasurementConfig::new(Processor::Core2Duo, Interface::Pc)
+            .with_pattern(Pattern::StartStop)
+            .with_tsc(false)
+            .with_mode(CountingMode::UserKernel)
+            .with_hz(0),
+        Benchmark::Null,
+    )
+    .expect("off");
+    assert!(
+        (off.error() - on.error()).abs() < 100,
+        "start-stop: off {} vs on {}",
+        off.error(),
+        on.error()
+    );
+}
+
+/// Guideline: “reducing the number of concurrently measured hardware
+/// events can be a good way to improve measurement accuracy”.
+#[test]
+fn guideline_fewer_counters_more_accurate() {
+    let err = |counters: usize| {
+        run_measurement(
+            &MeasurementConfig::new(Processor::AthlonK8, Interface::Pm)
+                .with_pattern(Pattern::ReadRead)
+                .with_counters(counters)
+                .with_mode(CountingMode::UserKernel)
+                .with_hz(0),
+            Benchmark::Null,
+        )
+        .expect("measurement")
+        .error()
+    };
+    assert!(err(1) < err(4), "1 ctr {} vs 4 ctrs {}", err(1), err(4));
+}
+
+/// Guideline: “use of low level APIs” — lower layers have lower error,
+/// but only when used the right way.
+#[test]
+fn guideline_lower_layers_less_error() {
+    let err = |interface: Interface| {
+        run_measurement(
+            &MeasurementConfig::new(Processor::Core2Duo, interface)
+                .with_pattern(Pattern::StartRead)
+                .with_mode(CountingMode::User)
+                .with_hz(0),
+            Benchmark::Null,
+        )
+        .expect("measurement")
+        .error()
+    };
+    assert!(err(Interface::Pm) < err(Interface::PLpm));
+    assert!(err(Interface::PLpm) < err(Interface::PHpm));
+    assert!(err(Interface::Pc) < err(Interface::PLpc));
+    assert!(err(Interface::PLpc) < err(Interface::PHpc));
+}
+
+/// Guideline: “error depends on duration … only … when including kernel
+/// mode instructions”.
+#[test]
+fn guideline_duration_error_only_in_kernel_mode() {
+    let run = |mode: CountingMode, iters: u64| {
+        run_measurement(
+            &MeasurementConfig::new(Processor::AthlonK8, Interface::Pm)
+                .with_mode(mode)
+                .with_seed(99),
+            Benchmark::Loop { iters },
+        )
+        .expect("measurement")
+        .error()
+    };
+    let uk_short = run(CountingMode::UserKernel, 100_000);
+    let uk_long = run(CountingMode::UserKernel, 40_000_000);
+    assert!(
+        uk_long > uk_short + 3_000,
+        "u+k error must grow: {uk_short} -> {uk_long}"
+    );
+    let u_short = run(CountingMode::User, 100_000);
+    let u_long = run(CountingMode::User, 40_000_000);
+    assert!(
+        (u_long - u_short).abs() < 500,
+        "user error must stay flat: {u_short} -> {u_long}"
+    );
+}
+
+/// Guideline: “setting the processor frequency … to a fixed value” — our
+/// model pins the frequency (performance governor), so repeated cycle
+/// measurements of the same build are stable.
+#[test]
+fn guideline_fixed_frequency_stable_cycles() {
+    let run = |seed: u64| {
+        run_measurement(
+            &MeasurementConfig::new(Processor::Core2Duo, Interface::Pm)
+                .with_event(Event::CoreCycles)
+                .with_mode(CountingMode::UserKernel)
+                .with_hz(0)
+                .with_seed(seed),
+            Benchmark::Loop { iters: 1_000_000 },
+        )
+        .expect("measurement")
+        .measured
+    };
+    let a = run(1);
+    let b = run(2);
+    // Same build → same placement → same CPI class; only call jitter
+    // differs.
+    let rel = (a as f64 - b as f64).abs() / a as f64;
+    assert!(rel < 0.01, "a {a} vs b {b}");
+}
+
+/// Guideline: “be suspicious of cycle counts” — across builds the cycle
+/// count for identical work varies by an integer factor.
+#[test]
+fn guideline_cycles_sensitive_to_placement() {
+    let mut cpis = Vec::new();
+    for pattern in Pattern::ALL {
+        for opt in counterlab::config::OptLevel::ALL {
+            let rec = run_measurement(
+                &MeasurementConfig::new(Processor::AthlonK8, Interface::Pm)
+                    .with_pattern(pattern)
+                    .with_opt_level(opt)
+                    .with_event(Event::CoreCycles)
+                    .with_mode(CountingMode::UserKernel)
+                    .with_hz(0),
+                Benchmark::Loop { iters: 1_000_000 },
+            )
+            .expect("measurement");
+            cpis.push(rec.measured as f64 / 1_000_000.0);
+        }
+    }
+    let lo = cpis.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = cpis.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    assert!(lo >= 1.9, "lo = {lo}");
+    assert!(hi / lo >= 1.4, "spread {lo}..{hi} too small");
+}
+
+/// The paper's §5 conclusion quantified: the measured per-iteration error
+/// for user+kernel counts is within the magnitude band of Figure 7.
+#[test]
+fn figure7_magnitude_band() {
+    let sizes = [5_000_000u64, 10_000_000, 20_000_000, 40_000_000];
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for (i, &iters) in sizes.iter().enumerate() {
+        for rep in 0..4u64 {
+            let rec = run_measurement(
+                &MeasurementConfig::new(Processor::Core2Duo, Interface::Pc)
+                    .with_mode(CountingMode::UserKernel)
+                    .with_seed(rep * 1_000 + i as u64),
+                Benchmark::Loop { iters },
+            )
+            .expect("measurement");
+            xs.push(iters as f64);
+            ys.push(rec.error() as f64);
+        }
+    }
+    let fit = counterlab::stats::regression::LinearFit::fit(&xs, &ys).expect("fit");
+    assert!(
+        (0.0005..0.005).contains(&fit.slope()),
+        "slope = {}",
+        fit.slope()
+    );
+}

@@ -1,0 +1,193 @@
+//! Property-based tests over the whole stack: invariants that must hold
+//! for *arbitrary* benchmark sizes, configurations and seeds.
+
+use counterlab::benchmark::Benchmark;
+use counterlab::config::{MeasurementConfig, OptLevel};
+use counterlab::interface::{CountingMode, Interface};
+use counterlab::measure::{placement_for, run_measurement};
+use counterlab::pattern::Pattern;
+use counterlab::prelude::*;
+use proptest::prelude::*;
+
+fn arb_processor() -> impl Strategy<Value = Processor> {
+    prop_oneof![
+        Just(Processor::PentiumD),
+        Just(Processor::Core2Duo),
+        Just(Processor::AthlonK8),
+    ]
+}
+
+fn arb_interface() -> impl Strategy<Value = Interface> {
+    prop_oneof![
+        Just(Interface::Pm),
+        Just(Interface::Pc),
+        Just(Interface::PLpm),
+        Just(Interface::PLpc),
+        Just(Interface::PHpm),
+        Just(Interface::PHpc),
+    ]
+}
+
+fn arb_pattern() -> impl Strategy<Value = Pattern> {
+    prop_oneof![
+        Just(Pattern::StartRead),
+        Just(Pattern::StartStop),
+        Just(Pattern::ReadRead),
+        Just(Pattern::ReadStop),
+    ]
+}
+
+fn arb_opt() -> impl Strategy<Value = OptLevel> {
+    prop_oneof![
+        Just(OptLevel::O0),
+        Just(OptLevel::O1),
+        Just(OptLevel::O2),
+        Just(OptLevel::O3),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The user-mode loop instruction model `ie = 1 + 3l` holds exactly,
+    /// for any iteration count, interface and seed, once the fixed window
+    /// cost (measured via the null benchmark with the same seed) is
+    /// subtracted.
+    #[test]
+    fn loop_model_exact_for_any_size(
+        iters in 1u64..2_000_000,
+        interface in arb_interface(),
+        seed in any::<u64>(),
+    ) {
+        let base = MeasurementConfig::new(Processor::AthlonK8, interface)
+            .with_mode(CountingMode::User)
+            .with_hz(0)
+            .with_seed(seed);
+        let null = run_measurement(&base, Benchmark::Null).unwrap();
+        let looped = run_measurement(&base, Benchmark::Loop { iters }).unwrap();
+        prop_assert_eq!(looped.measured - null.measured, 1 + 3 * iters);
+    }
+
+    /// Measurement error on the null benchmark is always strictly positive
+    /// (the infrastructure cannot execute zero instructions inside its own
+    /// window) and bounded by a few thousand instructions.
+    #[test]
+    fn null_error_positive_and_bounded(
+        processor in arb_processor(),
+        interface in arb_interface(),
+        pattern in arb_pattern(),
+        opt in arb_opt(),
+        seed in any::<u64>(),
+        tsc in any::<bool>(),
+    ) {
+        prop_assume!(interface.supports(pattern));
+        let cfg = MeasurementConfig::new(processor, interface)
+            .with_pattern(pattern)
+            .with_opt_level(opt)
+            .with_tsc(tsc)
+            .with_mode(CountingMode::UserKernel)
+            .with_hz(0)
+            .with_seed(seed);
+        let rec = run_measurement(&cfg, Benchmark::Null).unwrap();
+        prop_assert!(rec.error() > 0);
+        prop_assert!(rec.error() < 10_000, "error = {}", rec.error());
+    }
+
+    /// Measurements are a pure function of the configuration: identical
+    /// configs yield identical results.
+    #[test]
+    fn measurement_determinism(
+        interface in arb_interface(),
+        iters in 0u64..500_000,
+        seed in any::<u64>(),
+    ) {
+        let cfg = MeasurementConfig::new(Processor::Core2Duo, interface)
+            .with_seed(seed);
+        let bench = if iters == 0 { Benchmark::Null } else { Benchmark::Loop { iters } };
+        let a = run_measurement(&cfg, bench).unwrap();
+        let b = run_measurement(&cfg, bench).unwrap();
+        prop_assert_eq!(a.measured, b.measured);
+    }
+
+    /// Placement is deterministic in the build inputs and independent of
+    /// the loop's iteration count (only an immediate changes).
+    #[test]
+    fn placement_ignores_iteration_count(
+        pattern in arb_pattern(),
+        opt in arb_opt(),
+        interface in arb_interface(),
+        a in 1u64..10_000_000,
+        b in 1u64..10_000_000,
+    ) {
+        let cfg = MeasurementConfig::new(Processor::AthlonK8, interface)
+            .with_pattern(pattern)
+            .with_opt_level(opt);
+        let pa = placement_for(&cfg, &Benchmark::Loop { iters: a });
+        let pb = placement_for(&cfg, &Benchmark::Loop { iters: b });
+        prop_assert_eq!(pa, pb);
+    }
+
+    /// Cycle counts are bounded below by the architectural minimum: at
+    /// least one cycle per `div_ceil(ipc)` instructions, and for the loop
+    /// at least 1 cycle per iteration on every modeled processor.
+    #[test]
+    fn cycles_bounded_below_by_iterations(
+        processor in arb_processor(),
+        pattern in arb_pattern(),
+        opt in arb_opt(),
+        iters in 10_000u64..2_000_000,
+    ) {
+        let cfg = MeasurementConfig::new(processor, Interface::Pm)
+            .with_pattern(pattern)
+            .with_opt_level(opt)
+            .with_event(Event::CoreCycles)
+            .with_mode(CountingMode::UserKernel)
+            .with_hz(0);
+        prop_assume!(cfg.interface.supports(pattern));
+        let rec = run_measurement(&cfg, Benchmark::Loop { iters }).unwrap();
+        prop_assert!(rec.measured >= iters, "cycles {} < iters {iters}", rec.measured);
+        // And bounded above by the worst CPI class (4) plus overheads.
+        prop_assert!(rec.measured < 5 * iters + 1_000_000);
+    }
+
+    /// The user+kernel error always dominates the user error for the same
+    /// configuration and seed.
+    #[test]
+    fn user_kernel_error_dominates(
+        interface in arb_interface(),
+        pattern in arb_pattern(),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(interface.supports(pattern));
+        let base = MeasurementConfig::new(Processor::PentiumD, interface)
+            .with_pattern(pattern)
+            .with_hz(0)
+            .with_seed(seed);
+        let user = run_measurement(&base.with_mode(CountingMode::User), Benchmark::Null)
+            .unwrap();
+        let uk = run_measurement(
+            &base.with_mode(CountingMode::UserKernel),
+            Benchmark::Null,
+        )
+        .unwrap();
+        prop_assert!(uk.error() >= user.error());
+    }
+
+    /// Timer-tick attribution conserves instructions: kernel-only plus
+    /// user-only counts equal user+kernel counts for identical runs.
+    #[test]
+    fn mode_counts_are_additive(
+        iters in 1_000u64..5_000_000,
+        seed in any::<u64>(),
+    ) {
+        let base = MeasurementConfig::new(Processor::Core2Duo, Interface::Pm)
+            .with_seed(seed);
+        let user = run_measurement(&base.with_mode(CountingMode::User),
+            Benchmark::Loop { iters }).unwrap();
+        let kernel = run_measurement(&base.with_mode(CountingMode::Kernel),
+            Benchmark::Loop { iters }).unwrap();
+        let both = run_measurement(&base.with_mode(CountingMode::UserKernel),
+            Benchmark::Loop { iters }).unwrap();
+        prop_assert_eq!(user.measured + kernel.measured, both.measured);
+    }
+}

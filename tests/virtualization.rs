@@ -1,0 +1,131 @@
+//! Integration tests of per-thread counter virtualization (§2.3): the
+//! kernel's context-switch code saves and restores the PMU so that each
+//! thread observes only its own events.
+
+use counterlab::prelude::*;
+use counterlab_cpu::pmu::PmcConfig;
+
+fn quiet_system(processor: Processor) -> System {
+    System::new(
+        processor,
+        KernelConfig::default()
+            .with_hz(0)
+            .with_skid(counterlab::kernel::config::SkidModel::disabled()),
+    )
+}
+
+#[test]
+fn two_threads_have_independent_counts() {
+    let mut sys = quiet_system(Processor::AthlonK8);
+    sys.machine_mut()
+        .pmu_mut()
+        .program(
+            0,
+            PmcConfig::counting(Event::InstructionsRetired, CountMode::UserOnly),
+        )
+        .unwrap();
+    let t1 = sys.spawn_thread("worker-1");
+    let t2 = sys.spawn_thread("worker-2");
+
+    // Main runs 1000, worker-1 runs 2000, worker-2 runs 3000, with
+    // interleavings.
+    sys.run_user_mix(&InstMix::straight_line(1_000));
+    sys.switch_thread(t1).unwrap();
+    sys.run_user_mix(&InstMix::straight_line(500));
+    sys.switch_thread(t2).unwrap();
+    sys.run_user_mix(&InstMix::straight_line(3_000));
+    sys.switch_thread(t1).unwrap();
+    sys.run_user_mix(&InstMix::straight_line(1_500));
+
+    // worker-1 currently running: sees exactly its own 2000.
+    assert_eq!(sys.machine().pmu().read_pmc(0).unwrap(), 2_000);
+    sys.switch_thread(ThreadId(0)).unwrap();
+    assert_eq!(sys.machine().pmu().read_pmc(0).unwrap(), 1_000);
+    sys.switch_thread(t2).unwrap();
+    assert_eq!(sys.machine().pmu().read_pmc(0).unwrap(), 3_000);
+}
+
+#[test]
+fn switch_cost_attributed_to_kernel() {
+    let mut sys = quiet_system(Processor::Core2Duo);
+    sys.machine_mut()
+        .pmu_mut()
+        .program(
+            0,
+            PmcConfig::counting(Event::InstructionsRetired, CountMode::KernelOnly),
+        )
+        .unwrap();
+    let t1 = sys.spawn_thread("other");
+    sys.switch_thread(t1).unwrap();
+    // The incoming thread starts from zero, so nothing from the switch
+    // itself leaks into it…
+    assert_eq!(sys.machine().pmu().read_pmc(0).unwrap(), 0);
+    // …but the outgoing thread paid the context-switch kernel cost.
+    sys.switch_thread(ThreadId(0)).unwrap();
+    let main_kernel = sys.machine().pmu().read_pmc(0).unwrap();
+    assert!(
+        main_kernel >= counterlab::kernel::system::CONTEXT_SWITCH_INSTRUCTIONS,
+        "main saw {main_kernel} kernel instructions"
+    );
+}
+
+#[test]
+fn virtualized_counts_survive_many_switches() {
+    let mut sys = quiet_system(Processor::PentiumD);
+    sys.machine_mut()
+        .pmu_mut()
+        .program(
+            0,
+            PmcConfig::counting(Event::InstructionsRetired, CountMode::UserOnly),
+        )
+        .unwrap();
+    let other = sys.spawn_thread("pingpong");
+    let mut expected_main = 0u64;
+    let mut expected_other = 0u64;
+    for round in 0..50u64 {
+        sys.run_user_mix(&InstMix::straight_line(round));
+        expected_main += round;
+        sys.switch_thread(other).unwrap();
+        sys.run_user_mix(&InstMix::straight_line(2 * round));
+        expected_other += 2 * round;
+        sys.switch_thread(ThreadId(0)).unwrap();
+    }
+    assert_eq!(sys.machine().pmu().read_pmc(0).unwrap(), expected_main);
+    assert_eq!(
+        sys.threads().get(ThreadId(0)).unwrap().user_instructions(),
+        expected_main
+    );
+    sys.switch_thread(other).unwrap();
+    assert_eq!(sys.machine().pmu().read_pmc(0).unwrap(), expected_other);
+}
+
+#[test]
+fn perfctr_handle_isolates_thread_counts() {
+    // The same property through the perfctr library: a measuring thread's
+    // counts are not polluted by another thread's work.
+    use counterlab::perfctr::{Perfctr, PerfctrOptions};
+    let mut pc = Perfctr::boot(
+        Processor::AthlonK8,
+        KernelConfig::default().with_hz(0),
+        PerfctrOptions::default(),
+    )
+    .unwrap();
+    pc.control(&[(Event::InstructionsRetired, CountMode::UserOnly)])
+        .unwrap();
+    pc.start().unwrap();
+    let c0 = pc.read_ctrs().unwrap().pmcs[0];
+
+    // Another thread runs a large workload.
+    let other = pc.system_mut().spawn_thread("noise");
+    pc.system_mut().switch_thread(other).unwrap();
+    pc.system_mut()
+        .run_user_mix(&InstMix::straight_line(1_000_000));
+    pc.system_mut()
+        .switch_thread(counterlab::kernel::thread::ThreadId(0))
+        .unwrap();
+
+    let c1 = pc.read_ctrs().unwrap().pmcs[0];
+    // The measuring thread only saw its own read overhead, not the
+    // million noise instructions.
+    assert!(c1 - c0 < 2_000, "delta = {}", c1 - c0);
+}
