@@ -33,6 +33,13 @@ fn main() -> ExitCode {
     }
 }
 
+/// Every COMMAND the dispatch below understands; anything else is a
+/// usage error rather than a silent no-op.
+const KNOWN_COMMANDS: &[&str] = &[
+    "table1", "table2", "table3", "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+    "fig10", "fig11", "fig12", "anova", "ext-cache", "ext-multiplex", "csv", "all",
+];
+
 fn run(args: &[String]) -> Result<(), String> {
     let mut scale = Scale::standard();
     let mut out_dir: Option<PathBuf> = None;
@@ -59,7 +66,8 @@ fn run(args: &[String]) -> Result<(), String> {
                 println!("{}", HELP);
                 return Ok(());
             }
-            cmd => commands.push(cmd.to_string()),
+            cmd if KNOWN_COMMANDS.contains(&cmd) => commands.push(cmd.to_string()),
+            cmd => return Err(format!("unknown command {cmd:?}; see --help")),
         }
         i += 1;
     }
@@ -216,3 +224,44 @@ ABLATIONS:
   fig7 --no-timer               disable the timer interrupt (slopes -> 0)
   fig11 --single-build          restrict to one build (bimodality collapses)
 ";
+
+#[cfg(test)]
+mod tests {
+    use super::KNOWN_COMMANDS;
+
+    /// The dispatch arms, the HELP text and KNOWN_COMMANDS are three
+    /// hand-maintained copies of the command list; scan this file's own
+    /// source so drift in any direction fails the build's test run.
+    #[test]
+    fn known_commands_match_dispatch_and_help() {
+        let source = include_str!("repro.rs");
+        let dispatched: Vec<&str> = source
+            .match_indices("want(\"")
+            .map(|(at, _)| {
+                let rest = &source[at + 6..];
+                &rest[..rest.find('"').expect("unterminated want literal")]
+            })
+            .collect();
+        assert!(!dispatched.is_empty());
+        for cmd in &dispatched {
+            assert!(
+                KNOWN_COMMANDS.contains(cmd),
+                "dispatch arm for {cmd:?} missing from KNOWN_COMMANDS",
+            );
+        }
+        for cmd in KNOWN_COMMANDS {
+            if *cmd != "all" {
+                assert!(
+                    dispatched.contains(cmd),
+                    "KNOWN_COMMANDS entry {cmd:?} has no dispatch arm",
+                );
+            }
+            // Whole-word match: `fig1` must not pass on the strength of
+            // `fig10` appearing in the help text.
+            assert!(
+                super::HELP.split_whitespace().any(|word| word == *cmd),
+                "KNOWN_COMMANDS entry {cmd:?} not documented in --help",
+            );
+        }
+    }
+}

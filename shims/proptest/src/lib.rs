@@ -1,0 +1,196 @@
+//! Offline stand-in for the subset of the [`proptest`] crate that the
+//! counterlab test suites use. The build environment has no registry
+//! access, so this workspace member shadows `proptest` via a path
+//! dependency.
+//!
+//! Differences from proptest proper, by design:
+//!
+//! * **No shrinking.** A failing case reports its generating seed and the
+//!   concrete argument values instead of a minimized counterexample.
+//! * **Deterministic by default.** Each `#[test]` derives its RNG stream
+//!   from a hash of its fully-qualified name, so CI runs are reproducible.
+//!   Set `PROPTEST_SEED=<u64>` to explore a different stream locally.
+//! * **No persistence.** Nothing is written to `proptest-regressions/`;
+//!   re-running a failure is done by fixing the reported seed.
+//!
+//! The macro surface (`proptest!`, `prop_assert*`, `prop_assume!`,
+//! `prop_oneof!`, `any`, `Just`, ranges, tuples, string-pattern and
+//! `prop::collection::vec` strategies) matches proptest 1.x for every
+//! call that appears in-tree.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Namespace mirror of proptest's `prop` re-export module, so that
+/// `prop::collection::vec(...)` works after `use proptest::prelude::*`.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+pub mod prelude {
+    //! The usual single-import surface: `use proptest::prelude::*;`.
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Entry macro: a block of property tests with an optional
+/// `#![proptest_config(...)]` header.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body!($crate::test_runner::Config::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let mut seeder = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let mut accepted: u32 = 0;
+            let mut rejected: u32 = 0;
+            // Build each strategy once (a `prop_oneof!` allocates, a string
+            // pattern parses); the argument names are then shadowed by the
+            // sampled values inside the loop.
+            let ($($arg,)+) = ($(($strat),)+);
+            while accepted < config.cases {
+                let case_seed = seeder.next_u64();
+                let mut case_rng = $crate::test_runner::TestRng::from_seed(case_seed);
+                $(let $arg = $crate::strategy::Strategy::sample(&$arg, &mut case_rng);)+
+                // Rendered before the body runs because the body may move
+                // the arguments (e.g. `for op in ops`); the cost is a few
+                // ms across the whole workspace suite.
+                let rendered_args = format!(
+                    concat!($("\n    ", stringify!($arg), " = {:?}",)+),
+                    $(&$arg,)+
+                );
+                let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(why)) => {
+                        rejected += 1;
+                        if rejected > config.max_global_rejects {
+                            panic!(
+                                "proptest: too many prop_assume! rejections ({} accepted, {} rejected; last: {})",
+                                accepted, rejected, why,
+                            );
+                        }
+                    }
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case failed: {}\n  case seed: {:#018x}\n  arguments:{}",
+                            msg, case_seed, rendered_args,
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "format", args...)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `prop_assert_eq!(left, right)` with an optional trailing message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                left, right,
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+                left, right, format!($($fmt)+),
+            )));
+        }
+    }};
+}
+
+/// `prop_assert_ne!(left, right)` with an optional trailing message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `(left != right)`\n  both: `{:?}`",
+                left,
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `(left != right)`\n  both: `{:?}`: {}",
+                left, format!($($fmt)+),
+            )));
+        }
+    }};
+}
+
+/// `prop_assume!(cond)`: discard the case (without failing) unless `cond`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// `prop_oneof![a, b, c]`: sample uniformly from one of several strategies
+/// producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,153 @@
+//! String strategies from regex-like patterns.
+//!
+//! proptest treats a `&str` as a regex generating matching strings. This
+//! shim implements the subset that appears in counterlab's suites —
+//! concatenations of literal characters, `.`, and `[a-z0-9_]`-style
+//! character classes (with ranges), each optionally quantified by `{m}`,
+//! `{m,n}`, `?`, `*` or `+` (unbounded quantifiers capped at 8 repeats).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// Concrete alternatives to pick from.
+    Class(Vec<char>),
+    /// `.`: any printable ASCII character.
+    AnyPrintable,
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed character class in pattern {pattern:?}"));
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                        assert!(lo <= hi, "inverted range in pattern {pattern:?}");
+                        set.extend((lo..=hi).filter_map(char::from_u32));
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                assert!(!set.is_empty(), "empty character class in pattern {pattern:?}");
+                i = close + 1;
+                Atom::Class(set)
+            }
+            '.' => {
+                i += 1;
+                Atom::AnyPrintable
+            }
+            '\\' if i + 1 < chars.len() => {
+                i += 2;
+                Atom::Class(vec![chars[i - 1]])
+            }
+            c => {
+                i += 1;
+                Atom::Class(vec![c])
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unclosed quantifier in pattern {pattern:?}"));
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((m, n)) => (
+                            m.trim().parse().expect("bad quantifier min"),
+                            n.trim().parse().expect("bad quantifier max"),
+                        ),
+                        None => {
+                            let m: usize = body.trim().parse().expect("bad quantifier");
+                            (m, m)
+                        }
+                    }
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted quantifier in pattern {pattern:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse_pattern(self) {
+            let reps = rng.usize_in(piece.min, piece.max);
+            for _ in 0..reps {
+                match &piece.atom {
+                    Atom::Class(set) => out.push(set[rng.usize_in(0, set.len() - 1)]),
+                    Atom::AnyPrintable => out.push((rng.u64_in(0x20, 0x7E) as u8) as char),
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn lowercase_class_with_counted_quantifier() {
+        let mut rng = TestRng::from_seed(5);
+        for _ in 0..500 {
+            let s = Strategy::sample(&"[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn literals_and_escapes() {
+        let mut rng = TestRng::from_seed(5);
+        assert_eq!(Strategy::sample(&"abc", &mut rng), "abc");
+        assert_eq!(Strategy::sample(&r"a\.b", &mut rng), "a.b");
+    }
+}

@@ -1,0 +1,115 @@
+//! The runner's configuration, error type and RNG.
+
+/// Mirror of `proptest::test_runner::Config` for the fields counterlab
+/// sets. Exposed from the prelude as `ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of *accepted* cases each property must pass.
+    pub cases: u32,
+    /// Upper bound on `prop_assume!` rejections before the test aborts.
+    pub max_global_rejects: u32,
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered the inputs; the case is discarded.
+    Reject(String),
+    /// An assertion failed; the whole property fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(why: impl Into<String>) -> Self {
+        TestCaseError::Reject(why.into())
+    }
+}
+
+/// Deterministic splitmix64 stream used for all value generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Stream for a named `#[test]`: a hash of the fully-qualified test
+    /// name, optionally XOR-perturbed by `PROPTEST_SEED` for local
+    /// exploration. CI runs (no env var) are therefore fully deterministic.
+    pub fn for_test(qualified_name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in qualified_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        if let Ok(v) = std::env::var("PROPTEST_SEED") {
+            let t = v.trim();
+            let parsed = match t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => t.parse::<u64>(),
+            };
+            // A bad override must not silently fall back to the default
+            // stream — the developer would believe they perturbed the run.
+            let extra = parsed.unwrap_or_else(|_| {
+                panic!("PROPTEST_SEED={v:?} is not a u64 (decimal or 0x-hex)")
+            });
+            h ^= extra.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+        TestRng::from_seed(h)
+    }
+
+    pub fn from_seed(state: u64) -> Self {
+        TestRng { state }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `u64` in `[lo, hi]` (inclusive; widened internally so the
+    /// full-domain case cannot overflow).
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        let span = (hi as u128) - (lo as u128) + 1;
+        lo.wrapping_add((self.next_u64() as u128 % span) as u64)
+    }
+
+    /// Uniform `usize` in `[lo, hi]` inclusive.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.u64_in(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn f64_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    pub fn bool_value(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}

@@ -1,0 +1,74 @@
+//! Smoke test anchoring the statically-known true counts of the two
+//! micro-benchmarks (§3.4 of the paper). Every future accuracy experiment
+//! measures *error relative to these counts*, so they must never drift:
+//! the null benchmark executes exactly 0 instructions of its own, and the
+//! loop benchmark executes exactly `ie = 1 + 3·l` user-mode instructions
+//! for `l` iterations.
+
+use counterlab::benchmark::Benchmark;
+use counterlab::config::MeasurementConfig;
+use counterlab::interface::{CountingMode, Interface};
+use counterlab::measure::run_measurement;
+use counterlab::prelude::*;
+
+#[test]
+fn null_benchmark_true_count_is_zero() {
+    assert_eq!(Benchmark::Null.expected_instructions(), 0);
+}
+
+#[test]
+fn loop_benchmark_true_count_is_one_plus_three_l() {
+    for l in [0u64, 1, 20, 1_000, 31_416, 1_000_000, 50_000_000] {
+        assert_eq!(
+            Benchmark::Loop { iters: l }.expected_instructions(),
+            1 + 3 * l,
+            "loop true count must be 1 + 3·l for l = {l}",
+        );
+    }
+}
+
+/// With kernel noise disabled (hz = 0) and user-mode counting, subtracting
+/// the same-seed null measurement from a loop measurement must recover the
+/// loop's true count *exactly*, on every processor and interface. This is
+/// the identity all accuracy numbers in the paper are computed against.
+#[test]
+fn loop_minus_null_recovers_true_count_exactly() {
+    for processor in Processor::ALL {
+        for interface in Interface::ALL {
+            let base = MeasurementConfig::new(processor, interface)
+                .with_mode(CountingMode::User)
+                .with_hz(0)
+                .with_seed(0xC0FFEE);
+            let null = run_measurement(&base, Benchmark::Null).expect("null measurement");
+            for l in [1u64, 100, 10_000, 1_000_000] {
+                let looped = run_measurement(&base, Benchmark::Loop { iters: l })
+                    .expect("loop measurement");
+                assert_eq!(
+                    looped.measured - null.measured,
+                    1 + 3 * l,
+                    "{processor:?}/{interface:?} l = {l}",
+                );
+            }
+        }
+    }
+}
+
+/// The measurement record carries the true count in `expected`, and the
+/// infrastructure can never under-count its own window: error >= 0 always,
+/// and strictly positive for user+kernel counting.
+#[test]
+fn recorded_expected_matches_static_model_and_error_is_positive() {
+    for interface in Interface::ALL {
+        let cfg = MeasurementConfig::new(Processor::Core2Duo, interface)
+            .with_mode(CountingMode::UserKernel)
+            .with_seed(7);
+        let null = run_measurement(&cfg, Benchmark::Null).expect("null measurement");
+        assert_eq!(null.expected, 0);
+        assert!(null.error() > 0, "{interface:?} null error must be positive");
+
+        let looped =
+            run_measurement(&cfg, Benchmark::Loop { iters: 1_000 }).expect("loop measurement");
+        assert_eq!(looped.expected, 3_001);
+        assert!(looped.error() > 0, "{interface:?} loop error must be positive");
+    }
+}
