@@ -7,6 +7,8 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use counterlab::benchmark::Benchmark;
 use counterlab::config::MeasurementConfig;
+use counterlab::exec::RunOptions;
+use counterlab::grid::Grid;
 use counterlab::interface::{CountingMode, Interface};
 use counterlab::measure::run_measurement;
 use counterlab::pattern::Pattern;
@@ -86,6 +88,24 @@ fn bench_measurement(c: &mut Criterion) {
     g.finish();
 }
 
+/// The 1-vs-N-thread comparison for the parallel execution engine: one
+/// full null grid (thousands of deterministic measurements) per
+/// iteration. On a multi-core runner `jobs4` should beat `jobs1` well
+/// beyond 1.5×; the records are byte-identical either way, so this
+/// measures pure scheduling overhead vs speedup.
+fn bench_parallel_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel_engine");
+    g.sample_size(10);
+    let grid = Grid::full_null(1);
+    for jobs in [1usize, 2, 4] {
+        let opts = RunOptions::with_jobs(jobs);
+        g.bench_function(format!("full_null_jobs{jobs}"), |b| {
+            b.iter(|| grid.run_with(black_box(&opts)).expect("grid"))
+        });
+    }
+    g.finish();
+}
+
 fn bench_stats(c: &mut Criterion) {
     let mut g = c.benchmark_group("stats");
     let data: Vec<f64> = (0..10_000).map(|i| ((i * 37) % 1000) as f64).collect();
@@ -111,5 +131,11 @@ fn bench_stats(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_machine, bench_measurement, bench_stats);
+criterion_group!(
+    benches,
+    bench_machine,
+    bench_measurement,
+    bench_parallel_engine,
+    bench_stats
+);
 criterion_main!(benches);

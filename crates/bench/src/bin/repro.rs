@@ -1,20 +1,22 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--scale quick|standard|paper] [--out DIR] COMMAND...
+//! repro [--scale quick|standard|paper] [--jobs N] [--out DIR] COMMAND...
 //!
 //! Commands:
 //!   table1 table2 table3 fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9
 //!   fig10 fig11 fig12 anova ext-cache ext-multiplex csv all
 //!
-//! Ablations:
+//! Ablations (rejected unless their target command is requested):
 //!   fig7 --no-timer        HZ=0: the duration slopes collapse
 //!   fig11 --single-build   one (pattern, -O) build: bimodality collapses
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
+use counterlab::exec::RunOptions;
 use counterlab::experiments::{
     anova, cache, cycles, duration, infrastructure, multiplexing, overview, registers, tables, tsc,
 };
@@ -40,12 +42,20 @@ const KNOWN_COMMANDS: &[&str] = &[
     "fig10", "fig11", "fig12", "anova", "ext-cache", "ext-multiplex", "csv", "all",
 ];
 
+/// Every ablation flag and the single command it modifies. Passing an
+/// ablation without its target command is a usage error rather than a
+/// silent no-op (`repro fig8 --no-timer` used to parse fine and change
+/// nothing).
+const ABLATIONS: &[(&str, &str)] = &[("--no-timer", "fig7"), ("--single-build", "fig11")];
+
 fn run(args: &[String]) -> Result<(), String> {
     let mut scale = Scale::standard();
     let mut out_dir: Option<PathBuf> = None;
     let mut commands: Vec<String> = Vec::new();
     let mut no_timer = false;
     let mut single_build = false;
+    // 0 = one worker per available CPU (the engine default).
+    let mut jobs: usize = 0;
 
     let mut i = 0;
     while i < args.len() {
@@ -59,6 +69,15 @@ fn run(args: &[String]) -> Result<(), String> {
             "--out" => {
                 i += 1;
                 out_dir = Some(PathBuf::from(args.get(i).ok_or("--out needs a value")?));
+            }
+            "--jobs" => {
+                i += 1;
+                let value = args.get(i).ok_or("--jobs needs a value")?;
+                jobs = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--jobs needs a thread count >= 1, got {value:?}"))?;
             }
             "--no-timer" => no_timer = true,
             "--single-build" => single_build = true,
@@ -76,9 +95,26 @@ fn run(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
 
-    let output = Output::new(out_dir.as_deref()).map_err(|e| e.to_string())?;
     let all = commands.iter().any(|c| c == "all");
     let want = |c: &str| all || commands.iter().any(|x| x == c);
+
+    // Usage validation comes before any side effect (Output::new creates
+    // the --out directory), so a rejected command line leaves no trace.
+    for &(flag, target) in ABLATIONS {
+        let requested = match flag {
+            "--no-timer" => no_timer,
+            "--single-build" => single_build,
+            _ => unreachable!("ablation list drifted"),
+        };
+        if requested && !want(target) {
+            return Err(format!(
+                "{flag} only affects {target}; add {target} to the command list"
+            ));
+        }
+    }
+
+    let output = Output::new(out_dir.as_deref()).map_err(|e| e.to_string())?;
+    let opts = RunOptions::with_jobs(jobs);
 
     if want("table1") {
         output.emit("table1.txt", &tables::table1()).map_err(err)?;
@@ -90,19 +126,19 @@ fn run(args: &[String]) -> Result<(), String> {
         output.emit("fig3.txt", &tables::fig3()).map_err(err)?;
     }
     if want("fig1") {
-        let o = overview::run(scale.grid_reps).map_err(err)?;
+        let o = overview::run_with(scale.grid_reps, &opts).map_err(err)?;
         output.emit("fig1.txt", &o.render()).map_err(err)?;
     }
     if want("fig4") {
-        let f = tsc::run(core2(), scale.grid_reps).map_err(err)?;
+        let f = tsc::run_with(core2(), scale.grid_reps, &opts).map_err(err)?;
         output.emit("fig4.txt", &f.render()).map_err(err)?;
     }
     if want("fig5") {
-        let f = registers::run(k8(), scale.grid_reps).map_err(err)?;
+        let f = registers::run_with(k8(), scale.grid_reps, &opts).map_err(err)?;
         output.emit("fig5.txt", &f.render()).map_err(err)?;
     }
     if want("fig6") || want("table3") {
-        let f = infrastructure::run(scale.grid_reps).map_err(err)?;
+        let f = infrastructure::run_with(scale.grid_reps, &opts).map_err(err)?;
         if want("table3") {
             output.emit("table3.txt", &f.render_table3()).map_err(err)?;
         }
@@ -112,35 +148,38 @@ fn run(args: &[String]) -> Result<(), String> {
     }
     if want("fig7") {
         let hz = if no_timer { 0 } else { 250 };
-        let f = duration::run_slopes(
+        let f = duration::run_slopes_with(
             CountingMode::UserKernel,
             &duration::DEFAULT_SIZES,
             scale.duration_reps,
             hz,
+            &opts,
         )
         .map_err(err)?;
         output.emit("fig7.txt", &f.render()).map_err(err)?;
     }
     if want("fig8") {
-        let f = duration::run_slopes(
+        let f = duration::run_slopes_with(
             CountingMode::User,
             &duration::DEFAULT_SIZES,
             scale.duration_reps,
             250,
+            &opts,
         )
         .map_err(err)?;
         output.emit("fig8.txt", &f.render()).map_err(err)?;
     }
     if want("fig9") {
-        let f = duration::run_fig9(core2(), &duration::FIG9_SIZES, scale.fig9_reps).map_err(err)?;
+        let f = duration::run_fig9_with(core2(), &duration::FIG9_SIZES, scale.fig9_reps, &opts)
+            .map_err(err)?;
         output.emit("fig9.txt", &f.render()).map_err(err)?;
     }
     if want("fig10") {
-        let f = cycles::run_fig10(&cycles::CYCLE_SIZES, scale.cycle_reps).map_err(err)?;
+        let f = cycles::run_fig10_with(&cycles::CYCLE_SIZES, scale.cycle_reps, &opts).map_err(err)?;
         output.emit("fig10.txt", &f.render()).map_err(err)?;
     }
     if want("fig11") {
-        let f = cycles::run_fig11(&cycles::CYCLE_SIZES, scale.cycle_reps).map_err(err)?;
+        let f = cycles::run_fig11_with(&cycles::CYCLE_SIZES, scale.cycle_reps, &opts).map_err(err)?;
         let mut text = f.render();
         if single_build {
             // Ablation: restrict to one build — the groups collapse.
@@ -164,15 +203,15 @@ fn run(args: &[String]) -> Result<(), String> {
         output.emit("fig11.txt", &text).map_err(err)?;
     }
     if want("fig12") {
-        let f = cycles::run_fig12(&cycles::CYCLE_SIZES, scale.cycle_reps).map_err(err)?;
+        let f = cycles::run_fig12_with(&cycles::CYCLE_SIZES, scale.cycle_reps, &opts).map_err(err)?;
         output.emit("fig12.txt", &f.render()).map_err(err)?;
     }
     if want("anova") {
-        let f = anova::run(scale.grid_reps.max(3)).map_err(err)?;
+        let f = anova::run_with(scale.grid_reps.max(3), &opts).map_err(err)?;
         output.emit("anova.txt", &f.render()).map_err(err)?;
     }
     if want("ext-cache") {
-        let f = cache::run(k8(), 1_600_000, scale.grid_reps.max(4)).map_err(err)?;
+        let f = cache::run_with(k8(), 1_600_000, scale.grid_reps.max(4), &opts).map_err(err)?;
         output.emit("ext-cache.txt", &f.render()).map_err(err)?;
     }
     if want("ext-multiplex") {
@@ -181,7 +220,18 @@ fn run(args: &[String]) -> Result<(), String> {
     }
     if want("csv") {
         let grid = counterlab::grid::Grid::full_null(scale.grid_reps);
-        let records = grid.run().map_err(err)?;
+        // Progress on stderr (stdout stays parseable); deciles only, so
+        // the report is short however many records the scale implies.
+        let last_decile = AtomicUsize::new(0);
+        let progress = |done: usize, total: usize| {
+            let decile = done * 10 / total.max(1);
+            if last_decile.fetch_max(decile, Ordering::Relaxed) < decile {
+                eprintln!("csv: {}% ({done}/{total})", decile * 10);
+            }
+        };
+        let records = grid
+            .run_with(&opts.with_progress(&progress))
+            .map_err(err)?;
         output
             .write_only("full_grid.csv", &report::records_to_csv(&records))
             .map_err(err)?;
@@ -207,7 +257,15 @@ repro — regenerate the tables and figures of
 'Accuracy of Performance Counter Measurements' (ISPASS 2009)
 
 USAGE:
-  repro [--scale quick|standard|paper] [--out DIR] COMMAND...
+  repro [--scale quick|standard|paper] [--jobs N] [--out DIR] COMMAND...
+
+OPTIONS:
+  --scale quick|standard|paper  repetition preset (default standard)
+  --jobs N                      worker threads for the execution engine
+                                (default: one per available CPU; 1 runs
+                                the sweep sequentially on the calling
+                                thread; results are identical either way)
+  --out DIR                     also write artifacts into DIR
 
 COMMANDS:
   table1 table2 table3          the paper's tables
@@ -220,14 +278,14 @@ COMMANDS:
   csv                           dump the full null grid as CSV
   all                           everything above
 
-ABLATIONS:
+ABLATIONS (each flag requires its target command):
   fig7 --no-timer               disable the timer interrupt (slopes -> 0)
   fig11 --single-build          restrict to one build (bimodality collapses)
 ";
 
 #[cfg(test)]
 mod tests {
-    use super::KNOWN_COMMANDS;
+    use super::{ABLATIONS, KNOWN_COMMANDS};
 
     /// The dispatch arms, the HELP text and KNOWN_COMMANDS are three
     /// hand-maintained copies of the command list; scan this file's own
@@ -261,6 +319,76 @@ mod tests {
             assert!(
                 super::HELP.split_whitespace().any(|word| word == *cmd),
                 "KNOWN_COMMANDS entry {cmd:?} not documented in --help",
+            );
+        }
+    }
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// An ablation flag without its target command is a usage error, not
+    /// a silent no-op (`fig8 --no-timer` used to parse fine and change
+    /// nothing).
+    #[test]
+    fn ablation_without_target_command_rejected() {
+        let e = super::run(&args(&["fig8", "--no-timer"])).unwrap_err();
+        assert!(e.contains("--no-timer") && e.contains("fig7"), "{e}");
+        let e = super::run(&args(&["fig7", "--single-build"])).unwrap_err();
+        assert!(e.contains("--single-build") && e.contains("fig11"), "{e}");
+        let e = super::run(&args(&["table1", "--single-build"])).unwrap_err();
+        assert!(e.contains("fig11"), "{e}");
+    }
+
+    #[test]
+    fn jobs_flag_validated() {
+        for bad in [&["--jobs", "0"][..], &["--jobs", "many"], &["--jobs"]] {
+            let mut a = args(bad);
+            a.push("table1".into());
+            assert!(super::run(&a).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    /// Same drift guard for the ablation list: every flag in ABLATIONS
+    /// must have a parse arm and help documentation, its target must be a
+    /// dispatchable command, and every `--x`-style ablation flag parsed in
+    /// this file must be listed in ABLATIONS (so a new ablation cannot be
+    /// added without its target-command validation).
+    #[test]
+    fn ablations_match_parse_help_and_commands() {
+        let source = include_str!("repro.rs");
+        assert!(!ABLATIONS.is_empty());
+        for &(flag, target) in ABLATIONS {
+            assert!(
+                source.contains(&format!("{flag:?} => ")),
+                "ablation {flag:?} has no parse arm",
+            );
+            assert!(
+                super::HELP.split_whitespace().any(|word| word == flag),
+                "ablation {flag:?} not documented in --help",
+            );
+            assert!(
+                KNOWN_COMMANDS.contains(&target),
+                "ablation {flag:?} targets unknown command {target:?}",
+            );
+            assert!(
+                target != "all",
+                "an ablation must target one concrete command",
+            );
+        }
+        // Reverse direction: the parse arms for boolean flags (those with
+        // a `=> name = true` body) must all be declared as ablations.
+        for line in source.lines() {
+            let Some((arm, body)) = line.trim().split_once(" => ") else {
+                continue;
+            };
+            if !(arm.starts_with("\"--") && body.ends_with("= true,")) {
+                continue;
+            }
+            let flag = arm.trim_matches('"');
+            assert!(
+                ABLATIONS.iter().any(|&(f, _)| f == flag),
+                "boolean flag {flag:?} parsed but missing from ABLATIONS",
             );
         }
     }

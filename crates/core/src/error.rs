@@ -26,6 +26,19 @@ pub enum CoreError {
     /// A configuration asked for something impossible (e.g. more counters
     /// than the processor has, TSC off on a non-perfctr interface).
     InvalidConfig(String),
+    /// A counter read in a read-first pattern returned a value *smaller*
+    /// than the previous read of the same running counter. A correct
+    /// 64-bit event counter cannot run backwards within one measurement,
+    /// so this indicates a broken interface rather than a zero-event run;
+    /// it used to be silently masked by a saturating subtraction.
+    CounterWentBackwards {
+        /// The access pattern's code (e.g. `"rr"`).
+        pattern: &'static str,
+        /// The first reading (`c0`).
+        first: u64,
+        /// The second, smaller reading (`c1`).
+        second: u64,
+    },
     /// An experiment produced no data (e.g. empty grid).
     NoData(&'static str),
 }
@@ -39,6 +52,15 @@ impl fmt::Display for CoreError {
                 write!(f, "{interface} does not support the {pattern} pattern")
             }
             CoreError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
+            CoreError::CounterWentBackwards {
+                pattern,
+                first,
+                second,
+            } => write!(
+                f,
+                "counter went backwards in the {pattern} pattern: \
+                 first read {first}, second read {second}"
+            ),
             CoreError::NoData(what) => write!(f, "experiment produced no data: {what}"),
         }
     }
@@ -96,6 +118,14 @@ mod tests {
         assert!(e.to_string().contains("PHpm"));
         assert!(e.to_string().contains("rr"));
         assert!(CoreError::NoData("fig1").to_string().contains("fig1"));
+        let b = CoreError::CounterWentBackwards {
+            pattern: "rr",
+            first: 100,
+            second: 40,
+        };
+        assert!(b.to_string().contains("backwards"));
+        assert!(b.to_string().contains("100"));
+        assert!(b.to_string().contains("40"));
         let s = CoreError::from(StatsError::EmptyInput);
         assert!(Error::source(&s).is_some());
     }

@@ -1,0 +1,249 @@
+//! The parallel experiment execution engine.
+//!
+//! The paper's headline artifact is a factorial sweep of "over 170000
+//! measurements" (Figure 1). Every measurement is fully deterministic and
+//! self-contained — per-run seeds derive from the cell's identity, and a
+//! fresh simulated system boots per run — so the sweep is embarrassingly
+//! parallel *provided the output order does not depend on scheduling*.
+//!
+//! [`run_indexed`] is that engine: a dependency-free thread pool built on
+//! [`std::thread::scope`] and an atomic work index over `0..total`.
+//! Results are returned in index order regardless of worker count, so
+//! `jobs = 1` and `jobs = N` produce byte-identical record vectors, and
+//! the first failure (by index, not by wall clock) is propagated after
+//! in-flight work drains.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::{CoreError, Result};
+
+/// A progress observer: called after each completed work item with
+/// `(completed, total)`. Invoked concurrently from worker threads, hence
+/// the `Sync` bound; completion order is scheduling-dependent even though
+/// the returned results are not.
+pub type ProgressFn<'a> = &'a (dyn Fn(usize, usize) + Sync);
+
+/// Options controlling how a sweep executes.
+///
+/// The default runs with one worker per available CPU and no progress
+/// reporting; [`RunOptions::sequential`] reproduces the historical
+/// single-threaded path exactly.
+#[derive(Default, Clone, Copy)]
+pub struct RunOptions<'a> {
+    /// Worker-thread count. `0` (the default) means one worker per
+    /// available CPU ([`std::thread::available_parallelism`]); `1` runs
+    /// inline on the calling thread without spawning.
+    pub jobs: usize,
+    /// Optional progress callback.
+    pub progress: Option<ProgressFn<'a>>,
+}
+
+impl std::fmt::Debug for RunOptions<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunOptions")
+            .field("jobs", &self.jobs)
+            .field("progress", &self.progress.map(|_| "Fn"))
+            .finish()
+    }
+}
+
+impl<'a> RunOptions<'a> {
+    /// Options with an explicit worker count (`0` = auto).
+    pub fn with_jobs(jobs: usize) -> Self {
+        RunOptions {
+            jobs,
+            progress: None,
+        }
+    }
+
+    /// The single-threaded path: no worker threads are spawned and work
+    /// items run inline in index order on the calling thread.
+    pub fn sequential() -> Self {
+        Self::with_jobs(1)
+    }
+
+    /// Attaches a progress callback.
+    pub fn with_progress(mut self, progress: ProgressFn<'a>) -> Self {
+        self.progress = Some(progress);
+        self
+    }
+
+    /// The worker count this run will actually use for `total` items:
+    /// `jobs` resolved against available parallelism and clamped to the
+    /// work count (spawning more workers than items is pure overhead).
+    pub fn effective_jobs(&self, total: usize) -> usize {
+        let requested = if self.jobs == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.jobs
+        };
+        requested.clamp(1, total.max(1))
+    }
+}
+
+/// Runs `work(0..total)` across the configured workers and returns the
+/// results **in index order**, independent of worker count or scheduling.
+///
+/// Workers claim indices from a shared atomic counter. On the first
+/// failure the pool stops handing out new indices, already-claimed items
+/// run to completion (the drain), and the error with the **smallest
+/// index** is returned — again independent of scheduling, so a failing
+/// sweep fails identically at any `jobs` value.
+///
+/// # Errors
+///
+/// The lowest-index error produced by `work`.
+pub fn run_indexed<'a, T, F>(total: usize, opts: &RunOptions<'a>, work: F) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T> + Sync,
+{
+    let jobs = opts.effective_jobs(total);
+    if jobs <= 1 {
+        let mut out = Vec::with_capacity(total);
+        for i in 0..total {
+            out.push(work(i)?);
+            if let Some(progress) = opts.progress {
+                progress(i + 1, total);
+            }
+        }
+        return Ok(out);
+    }
+
+    let next = AtomicUsize::new(0);
+    let completed = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let first_error: Mutex<Option<(usize, CoreError)>> = Mutex::new(None);
+
+    // Each worker claims indices from the shared counter and keeps its
+    // results locally; ordering is restored from the indices afterwards,
+    // so no lock is touched on the success path.
+    let worker = || {
+        let mut local: Vec<(usize, T)> = Vec::new();
+        loop {
+            if stop.load(Ordering::Acquire) {
+                break;
+            }
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= total {
+                break;
+            }
+            match work(i) {
+                Ok(value) => {
+                    local.push((i, value));
+                    let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                    if let Some(progress) = opts.progress {
+                        progress(done, total);
+                    }
+                }
+                Err(e) => {
+                    let mut guard = first_error.lock().expect("engine error mutex");
+                    if guard.as_ref().is_none_or(|(at, _)| i < *at) {
+                        *guard = Some((i, e));
+                    }
+                    drop(guard);
+                    stop.store(true, Ordering::Release);
+                }
+            }
+        }
+        local
+    };
+
+    let mut parts: Vec<Vec<(usize, T)>> = Vec::with_capacity(jobs);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs).map(|_| scope.spawn(worker)).collect();
+        for handle in handles {
+            parts.push(handle.join().expect("engine worker panicked"));
+        }
+    });
+
+    if let Some((_, e)) = first_error.into_inner().expect("engine error mutex") {
+        return Err(e);
+    }
+    let mut slots: Vec<Option<T>> = (0..total).map(|_| None).collect();
+    for (i, value) in parts.into_iter().flatten() {
+        slots[i] = Some(value);
+    }
+    Ok(slots
+        .into_iter()
+        .map(|slot| slot.expect("every index ran to completion"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_matches_parallel() {
+        let square = |i: usize| Ok(i * i);
+        let seq = run_indexed(100, &RunOptions::sequential(), square).unwrap();
+        for jobs in [0, 2, 4, 7] {
+            let par = run_indexed(100, &RunOptions::with_jobs(jobs), square).unwrap();
+            assert_eq!(seq, par, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item() {
+        let ok = |i: usize| Ok(i);
+        assert!(run_indexed(0, &RunOptions::default(), ok).unwrap().is_empty());
+        assert_eq!(run_indexed(1, &RunOptions::with_jobs(8), ok).unwrap(), [0]);
+    }
+
+    #[test]
+    fn lowest_index_error_wins() {
+        let work = |i: usize| -> Result<usize> {
+            if i % 10 == 7 {
+                Err(CoreError::InvalidConfig(format!("boom at {i}")))
+            } else {
+                Ok(i)
+            }
+        };
+        // Indices are claimed monotonically, so index 7 — the smallest
+        // failing one — is always claimed before any later failure can
+        // raise the stop flag, always drains, and wins the min-index
+        // compare: the reported error is deterministic at any worker
+        // count.
+        for jobs in [1, 2, 4, 8] {
+            let err = run_indexed(100, &RunOptions::with_jobs(jobs), work).unwrap_err();
+            assert!(err.to_string().contains("boom at 7"), "jobs = {jobs}: {err}");
+        }
+    }
+
+    #[test]
+    fn progress_reports_every_item() {
+        let seen = AtomicUsize::new(0);
+        let total_seen = AtomicUsize::new(0);
+        let progress = |done: usize, total: usize| {
+            seen.fetch_add(1, Ordering::Relaxed);
+            total_seen.store(total, Ordering::Relaxed);
+            assert!(done >= 1 && done <= total);
+        };
+        let opts = RunOptions::with_jobs(3).with_progress(&progress);
+        run_indexed(25, &opts, Ok).unwrap();
+        assert_eq!(seen.load(Ordering::Relaxed), 25);
+        assert_eq!(total_seen.load(Ordering::Relaxed), 25);
+    }
+
+    #[test]
+    fn effective_jobs_resolution() {
+        assert_eq!(RunOptions::with_jobs(1).effective_jobs(1000), 1);
+        assert_eq!(RunOptions::with_jobs(8).effective_jobs(3), 3);
+        assert_eq!(RunOptions::with_jobs(8).effective_jobs(0), 1);
+        assert!(RunOptions::with_jobs(0).effective_jobs(1000) >= 1);
+    }
+
+    #[test]
+    fn error_drains_without_deadlock() {
+        // Every item fails: the pool must still terminate and report one.
+        let work = |i: usize| -> Result<usize> {
+            Err(CoreError::InvalidConfig(format!("all fail ({i})")))
+        };
+        let err = run_indexed(64, &RunOptions::with_jobs(4), work).unwrap_err();
+        assert!(err.to_string().contains("all fail"));
+    }
+}

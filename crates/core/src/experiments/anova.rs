@@ -12,6 +12,7 @@ use counterlab_stats::anova::{Anova, AnovaTable, Factor};
 
 use crate::benchmark::Benchmark;
 use crate::config::OptLevel;
+use crate::exec::RunOptions;
 use crate::grid::Grid;
 use crate::interface::{CountingMode, Interface};
 use crate::pattern::Pattern;
@@ -42,6 +43,15 @@ pub const FACTORS: [&str; 5] = [
 ///
 /// Propagates grid and ANOVA failures.
 pub fn run(reps: usize) -> Result<AnovaExperiment> {
+    run_with(reps, &RunOptions::default())
+}
+
+/// [`run`] with explicit execution-engine options.
+///
+/// # Errors
+///
+/// Propagates grid and ANOVA failures.
+pub fn run_with(reps: usize, opts: &RunOptions<'_>) -> Result<AnovaExperiment> {
     let mut grid = Grid::new(Benchmark::Null);
     grid.processors = Processor::ALL.to_vec();
     grid.interfaces = Interface::ALL.to_vec();
@@ -52,7 +62,7 @@ pub fn run(reps: usize) -> Result<AnovaExperiment> {
     grid.modes = vec![CountingMode::UserKernel];
     grid.event = Event::InstructionsRetired;
     grid.reps = reps.max(2);
-    let records = grid.run()?;
+    let records = grid.run_with(opts)?;
 
     let mut anova = Anova::new(vec![
         Factor::new(FACTORS[0], Processor::ALL.iter().map(|p| p.code())),

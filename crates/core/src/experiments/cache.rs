@@ -15,6 +15,7 @@ use counterlab_stats::boxplot::BoxPlot;
 
 use crate::benchmark::Benchmark;
 use crate::config::MeasurementConfig;
+use crate::exec::{self, RunOptions};
 use crate::interface::{CountingMode, Interface};
 use crate::measure::run_measurement;
 use crate::pattern::Pattern;
@@ -53,26 +54,44 @@ pub struct CacheFigure {
 ///
 /// Propagates measurement and statistics failures.
 pub fn run(processor: Processor, iters: u64, reps: usize) -> Result<CacheFigure> {
+    run_with(processor, iters, reps, &RunOptions::default())
+}
+
+/// [`run`] with explicit execution-engine options.
+///
+/// # Errors
+///
+/// Propagates measurement and statistics failures.
+pub fn run_with(
+    processor: Processor,
+    iters: u64,
+    reps: usize,
+    opts: &RunOptions<'_>,
+) -> Result<CacheFigure> {
     let expected = expected_misses(iters);
+    let reps = reps.max(2);
+    let excess = exec::run_indexed(Interface::ALL.len() * reps, opts, |idx| {
+        let interface = Interface::ALL[idx / reps];
+        let rep = idx % reps;
+        let cfg = MeasurementConfig::new(processor, interface)
+            .with_pattern(Pattern::StartRead)
+            .with_event(Event::DCacheMisses)
+            .with_mode(CountingMode::UserKernel)
+            .with_hz(0)
+            .with_seed(0xCAC4E ^ (rep as u64) << 8 ^ (interface as u64));
+        let rec = run_measurement(&cfg, Benchmark::ArrayWalk { iters })?;
+        Ok(rec.measured as f64 - expected as f64)
+    })?;
+
     let mut rows = Vec::new();
-    for &interface in &Interface::ALL {
-        let mut errors = Vec::new();
-        for rep in 0..reps.max(2) {
-            let cfg = MeasurementConfig::new(processor, interface)
-                .with_pattern(Pattern::StartRead)
-                .with_event(Event::DCacheMisses)
-                .with_mode(CountingMode::UserKernel)
-                .with_hz(0)
-                .with_seed(0xCAC4E ^ (rep as u64) << 8 ^ (interface as u64));
-            let rec = run_measurement(&cfg, Benchmark::ArrayWalk { iters })?;
-            errors.push(rec.measured as f64 - expected as f64);
-        }
+    for (i, &interface) in Interface::ALL.iter().enumerate() {
+        let errors = &excess[i * reps..(i + 1) * reps];
         if errors.is_empty() {
             return Err(CoreError::NoData("cache row"));
         }
         rows.push(CacheRow {
             interface,
-            boxplot: BoxPlot::from_slice(&errors)?,
+            boxplot: BoxPlot::from_slice(errors)?,
         });
     }
     Ok(CacheFigure {

@@ -15,6 +15,7 @@ use counterlab_stats::regression::LinearFit;
 
 use crate::benchmark::Benchmark;
 use crate::config::{MeasurementConfig, OptLevel};
+use crate::exec::{self, RunOptions};
 use crate::interface::{CountingMode, Interface};
 use crate::measure::run_measurement;
 use crate::pattern::Pattern;
@@ -87,10 +88,19 @@ pub struct CycleFigure {
 ///
 /// Propagates measurement failures.
 pub fn run_fig10(sizes: &[u64], reps: usize) -> Result<CycleFigure> {
+    run_fig10_with(sizes, reps, &RunOptions::default())
+}
+
+/// [`run_fig10`] with explicit execution-engine options.
+///
+/// # Errors
+///
+/// Propagates measurement failures.
+pub fn run_fig10_with(sizes: &[u64], reps: usize, opts: &RunOptions<'_>) -> Result<CycleFigure> {
     let mut panels = Vec::new();
     for &interface in &[Interface::Pm, Interface::Pc] {
         for &processor in &Processor::ALL {
-            panels.push(panel(interface, processor, sizes, reps)?);
+            panels.push(panel_with(interface, processor, sizes, reps, opts)?);
         }
     }
     Ok(CycleFigure { panels })
@@ -107,31 +117,48 @@ pub fn panel(
     sizes: &[u64],
     reps: usize,
 ) -> Result<CyclePanel> {
-    let mut points = Vec::new();
-    for &pattern in &Pattern::ALL {
-        if !interface.supports(pattern) {
-            continue;
-        }
-        for &opt_level in &OptLevel::ALL {
-            for &iters in sizes {
-                for rep in 0..reps.max(1) {
-                    let cfg = MeasurementConfig::new(processor, interface)
-                        .with_pattern(pattern)
-                        .with_opt_level(opt_level)
-                        .with_mode(CountingMode::UserKernel)
-                        .with_event(Event::CoreCycles)
-                        .with_seed(0xCC_1E5 ^ iters.wrapping_mul(7) ^ ((rep as u64) << 24));
-                    let rec = run_measurement(&cfg, Benchmark::Loop { iters })?;
-                    points.push(CyclePoint {
-                        iters,
-                        cycles: rec.measured,
-                        pattern,
-                        opt_level,
-                    });
-                }
-            }
-        }
-    }
+    panel_with(interface, processor, sizes, reps, &RunOptions::default())
+}
+
+/// [`panel`] with explicit execution-engine options: the
+/// (pattern × optimization level × size × rep) sweep runs through the
+/// engine in enumeration order.
+///
+/// # Errors
+///
+/// Propagates measurement failures.
+pub fn panel_with(
+    interface: Interface,
+    processor: Processor,
+    sizes: &[u64],
+    reps: usize,
+    opts: &RunOptions<'_>,
+) -> Result<CyclePanel> {
+    let reps = reps.max(1);
+    let builds: Vec<(Pattern, OptLevel)> = Pattern::ALL
+        .iter()
+        .filter(|&&pattern| interface.supports(pattern))
+        .flat_map(|&pattern| OptLevel::ALL.iter().map(move |&opt| (pattern, opt)))
+        .collect();
+    let per_build = sizes.len() * reps;
+    let points = exec::run_indexed(builds.len() * per_build, opts, |idx| {
+        let (pattern, opt_level) = builds[idx / per_build];
+        let iters = sizes[(idx % per_build) / reps];
+        let rep = idx % reps;
+        let cfg = MeasurementConfig::new(processor, interface)
+            .with_pattern(pattern)
+            .with_opt_level(opt_level)
+            .with_mode(CountingMode::UserKernel)
+            .with_event(Event::CoreCycles)
+            .with_seed(0xCC_1E5 ^ iters.wrapping_mul(7) ^ ((rep as u64) << 24));
+        let rec = run_measurement(&cfg, Benchmark::Loop { iters })?;
+        Ok(CyclePoint {
+            iters,
+            cycles: rec.measured,
+            pattern,
+            opt_level,
+        })
+    })?;
     if points.is_empty() {
         return Err(CoreError::NoData("cycle panel"));
     }
@@ -187,7 +214,16 @@ pub struct Fig11 {
 ///
 /// Propagates measurement failures.
 pub fn run_fig11(sizes: &[u64], reps: usize) -> Result<Fig11> {
-    let p = panel(Interface::Pm, Processor::AthlonK8, sizes, reps)?;
+    run_fig11_with(sizes, reps, &RunOptions::default())
+}
+
+/// [`run_fig11`] with explicit execution-engine options.
+///
+/// # Errors
+///
+/// Propagates measurement failures.
+pub fn run_fig11_with(sizes: &[u64], reps: usize, opts: &RunOptions<'_>) -> Result<Fig11> {
+    let p = panel_with(Interface::Pm, Processor::AthlonK8, sizes, reps, opts)?;
     let (group_2i, group_3i): (Vec<CyclePoint>, Vec<CyclePoint>) =
         p.points.into_iter().partition(|q| q.cpi() < 2.5);
     Ok(Fig11 { group_2i, group_3i })
@@ -244,7 +280,16 @@ pub struct Fig12 {
 ///
 /// Propagates measurement and regression failures.
 pub fn run_fig12(sizes: &[u64], reps: usize) -> Result<Fig12> {
-    let p = panel(Interface::Pm, Processor::AthlonK8, sizes, reps)?;
+    run_fig12_with(sizes, reps, &RunOptions::default())
+}
+
+/// [`run_fig12`] with explicit execution-engine options.
+///
+/// # Errors
+///
+/// Propagates measurement and regression failures.
+pub fn run_fig12_with(sizes: &[u64], reps: usize, opts: &RunOptions<'_>) -> Result<Fig12> {
+    let p = panel_with(Interface::Pm, Processor::AthlonK8, sizes, reps, opts)?;
     let mut panels = Vec::new();
     for &pattern in &Pattern::ALL {
         for &opt_level in &OptLevel::ALL {

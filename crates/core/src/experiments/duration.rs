@@ -17,6 +17,7 @@ use counterlab_stats::regression::LinearFit;
 
 use crate::benchmark::Benchmark;
 use crate::config::MeasurementConfig;
+use crate::exec::{self, RunOptions};
 use crate::interface::{CountingMode, Interface};
 use crate::measure::{run_measurement, Record};
 use crate::pattern::Pattern;
@@ -76,41 +77,67 @@ pub fn run_slopes(
     reps: usize,
     hz: u32,
 ) -> Result<DurationFigure> {
+    run_slopes_with(mode, sizes, reps, hz, &RunOptions::default())
+}
+
+/// [`run_slopes`] with explicit execution-engine options. The flattened
+/// (interface × processor × size × rep) sweep runs through the engine in
+/// enumeration order, so the fitted slopes are identical at any worker
+/// count.
+///
+/// # Errors
+///
+/// Propagates measurement and regression failures.
+pub fn run_slopes_with(
+    mode: CountingMode,
+    sizes: &[u64],
+    reps: usize,
+    hz: u32,
+    opts: &RunOptions<'_>,
+) -> Result<DurationFigure> {
+    let reps = reps.max(1);
+    let per_pair = sizes.len() * reps;
+    let pairs: Vec<(Interface, Processor)> = Interface::ALL
+        .iter()
+        .flat_map(|&i| Processor::ALL.iter().map(move |&p| (i, p)))
+        .collect();
+    let records = exec::run_indexed(pairs.len() * per_pair, opts, |idx| {
+        let (interface, processor) = pairs[idx / per_pair];
+        let size = sizes[(idx % per_pair) / reps];
+        let rep = idx % reps;
+        // Per-cell seed decorrelation: every (interface, processor, size,
+        // rep) run gets an independent timer phase, as every paper run
+        // was a fresh process.
+        let seed = 0xD0_0D
+            ^ size.wrapping_mul(0x9E37_79B9)
+            ^ ((rep as u64) << 17)
+            ^ ((interface as u64) << 40)
+            ^ ((processor as u64) << 47);
+        let cfg = MeasurementConfig::new(processor, interface)
+            .with_pattern(Pattern::StartRead)
+            .with_mode(mode)
+            .with_hz(hz)
+            .with_seed(seed);
+        run_measurement(&cfg, Benchmark::Loop { iters: size })
+    })?;
+
     let mut cells = Vec::new();
-    for &interface in &Interface::ALL {
-        for &processor in &Processor::ALL {
-            let mut xs = Vec::new();
-            let mut ys = Vec::new();
-            for &size in sizes {
-                for rep in 0..reps.max(1) {
-                    // Per-cell seed decorrelation: every (interface,
-                    // processor, size, rep) run gets an independent timer
-                    // phase, as every paper run was a fresh process.
-                    let seed = 0xD0_0D
-                        ^ size.wrapping_mul(0x9E37_79B9)
-                        ^ ((rep as u64) << 17)
-                        ^ ((interface as u64) << 40)
-                        ^ ((processor as u64) << 47);
-                    let cfg = MeasurementConfig::new(processor, interface)
-                        .with_pattern(Pattern::StartRead)
-                        .with_mode(mode)
-                        .with_hz(hz)
-                        .with_seed(seed);
-                    let rec = run_measurement(&cfg, Benchmark::Loop { iters: size })?;
-                    xs.push(size as f64);
-                    ys.push(rec.error() as f64);
-                }
-            }
-            let fit = LinearFit::fit(&xs, &ys)?;
-            cells.push(SlopeCell {
-                interface,
-                processor,
-                slope: fit.slope(),
-                intercept: fit.intercept(),
-                r_squared: fit.r_squared(),
-                points: xs.len(),
-            });
-        }
+    for (pair_idx, &(interface, processor)) in pairs.iter().enumerate() {
+        let slice = &records[pair_idx * per_pair..(pair_idx + 1) * per_pair];
+        let xs: Vec<f64> = slice
+            .iter()
+            .map(|r| r.benchmark.iterations() as f64)
+            .collect();
+        let ys: Vec<f64> = slice.iter().map(|r| r.error() as f64).collect();
+        let fit = LinearFit::fit(&xs, &ys)?;
+        cells.push(SlopeCell {
+            interface,
+            processor,
+            slope: fit.slope(),
+            intercept: fit.intercept(),
+            r_squared: fit.r_squared(),
+            points: xs.len(),
+        });
     }
     Ok(DurationFigure { mode, cells })
 }
@@ -184,21 +211,41 @@ pub struct Fig9 {
 ///
 /// Propagates measurement and statistics failures.
 pub fn run_fig9(processor: Processor, sizes: &[u64], reps: usize) -> Result<Fig9> {
+    run_fig9_with(processor, sizes, reps, &RunOptions::default())
+}
+
+/// [`run_fig9`] with explicit execution-engine options.
+///
+/// # Errors
+///
+/// Propagates measurement and statistics failures.
+pub fn run_fig9_with(
+    processor: Processor,
+    sizes: &[u64],
+    reps: usize,
+    opts: &RunOptions<'_>,
+) -> Result<Fig9> {
+    let reps = reps.max(2);
+    let records = exec::run_indexed(sizes.len() * reps, opts, |idx| {
+        let size = sizes[idx / reps];
+        let rep = idx % reps;
+        let cfg = MeasurementConfig::new(processor, Interface::Pc)
+            .with_pattern(Pattern::StartRead)
+            .with_mode(CountingMode::Kernel)
+            .with_seed(0xF169 ^ size.wrapping_mul(1_000_003) ^ (rep as u64) << 20);
+        run_measurement(&cfg, Benchmark::Loop { iters: size })
+    })?;
+
     let mut boxes = Vec::new();
     let mut xs = Vec::new();
     let mut ys = Vec::new();
-    for &size in sizes {
-        let mut errors = Vec::with_capacity(reps);
-        for rep in 0..reps.max(2) {
-            let cfg = MeasurementConfig::new(processor, Interface::Pc)
-                .with_pattern(Pattern::StartRead)
-                .with_mode(CountingMode::Kernel)
-                .with_seed(0xF169 ^ size.wrapping_mul(1_000_003) ^ (rep as u64) << 20);
-            let rec = run_measurement(&cfg, Benchmark::Loop { iters: size })?;
-            errors.push(rec.error() as f64);
-            xs.push(size as f64);
-            ys.push(rec.error() as f64);
-        }
+    for (i, &size) in sizes.iter().enumerate() {
+        let errors: Vec<f64> = records[i * reps..(i + 1) * reps]
+            .iter()
+            .map(|r| r.error() as f64)
+            .collect();
+        xs.extend(std::iter::repeat_n(size as f64, errors.len()));
+        ys.extend_from_slice(&errors);
         let boxplot = BoxPlot::from_slice(&errors)?;
         let mean = boxplot.mean();
         boxes.push(Fig9Box {
@@ -260,17 +307,32 @@ pub fn sweep_records(
     sizes: &[u64],
     reps: usize,
 ) -> Result<Vec<Record>> {
-    let mut out = Vec::new();
-    for &size in sizes {
-        for rep in 0..reps.max(1) {
-            let cfg = MeasurementConfig::new(processor, interface)
-                .with_pattern(Pattern::StartRead)
-                .with_mode(mode)
-                .with_seed(0x517A_u64 ^ size ^ ((rep as u64) << 32));
-            out.push(run_measurement(&cfg, Benchmark::Loop { iters: size })?);
-        }
-    }
-    Ok(out)
+    sweep_records_with(interface, processor, mode, sizes, reps, &RunOptions::default())
+}
+
+/// [`sweep_records`] with explicit execution-engine options.
+///
+/// # Errors
+///
+/// Propagates measurement failures.
+pub fn sweep_records_with(
+    interface: Interface,
+    processor: Processor,
+    mode: CountingMode,
+    sizes: &[u64],
+    reps: usize,
+    opts: &RunOptions<'_>,
+) -> Result<Vec<Record>> {
+    let reps = reps.max(1);
+    exec::run_indexed(sizes.len() * reps, opts, |idx| {
+        let size = sizes[idx / reps];
+        let rep = idx % reps;
+        let cfg = MeasurementConfig::new(processor, interface)
+            .with_pattern(Pattern::StartRead)
+            .with_mode(mode)
+            .with_seed(0x517A_u64 ^ size ^ ((rep as u64) << 32));
+        run_measurement(&cfg, Benchmark::Loop { iters: size })
+    })
 }
 
 #[cfg(test)]

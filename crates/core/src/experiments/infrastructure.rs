@@ -11,6 +11,7 @@ use counterlab_stats::boxplot::BoxPlot;
 
 use crate::benchmark::Benchmark;
 use crate::config::OptLevel;
+use crate::exec::RunOptions;
 use crate::grid::{Grid, RecordSet};
 use crate::interface::{CountingMode, Interface};
 use crate::pattern::Pattern;
@@ -75,6 +76,15 @@ pub struct InfrastructureFigure {
 ///
 /// Propagates grid and statistics failures.
 pub fn run(reps: usize) -> Result<InfrastructureFigure> {
+    run_with(reps, &RunOptions::default())
+}
+
+/// [`run`] with explicit execution-engine options.
+///
+/// # Errors
+///
+/// Propagates grid and statistics failures.
+pub fn run_with(reps: usize, opts: &RunOptions<'_>) -> Result<InfrastructureFigure> {
     let mut grid = Grid::new(Benchmark::Null);
     grid.processors = Processor::ALL.to_vec();
     grid.interfaces = Interface::ALL.to_vec();
@@ -85,7 +95,7 @@ pub fn run(reps: usize) -> Result<InfrastructureFigure> {
     grid.modes = vec![CountingMode::UserKernel, CountingMode::User];
     grid.event = Event::InstructionsRetired;
     grid.reps = reps.max(1);
-    let records = grid.run()?;
+    let records = grid.run_with(opts)?;
 
     let mut rows = Vec::new();
     for &mode in &[CountingMode::UserKernel, CountingMode::User] {

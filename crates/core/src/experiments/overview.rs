@@ -4,6 +4,7 @@
 
 use counterlab_stats::prelude::*;
 
+use crate::exec::RunOptions;
 use crate::grid::{Grid, RecordSet};
 use crate::interface::CountingMode;
 use crate::report;
@@ -31,8 +32,17 @@ pub struct Overview {
 ///
 /// Propagates grid failures and summary-statistics errors.
 pub fn run(reps: usize) -> Result<Overview> {
+    run_with(reps, &RunOptions::default())
+}
+
+/// [`run`] with explicit execution-engine options.
+///
+/// # Errors
+///
+/// Propagates grid failures and summary-statistics errors.
+pub fn run_with(reps: usize, opts: &RunOptions<'_>) -> Result<Overview> {
     let grid = Grid::full_null(reps.max(1));
-    let records = grid.run()?;
+    let records = grid.run_with(opts)?;
     let user: Vec<f64> = records
         .filtered(|r| r.config.mode == CountingMode::User)
         .errors();

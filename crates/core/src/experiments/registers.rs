@@ -10,6 +10,7 @@ use counterlab_stats::boxplot::BoxPlot;
 
 use crate::benchmark::Benchmark;
 use crate::config::OptLevel;
+use crate::exec::RunOptions;
 use crate::grid::{Grid, RecordSet};
 use crate::interface::{CountingMode, Interface};
 use crate::pattern::Pattern;
@@ -46,6 +47,19 @@ pub struct RegisterFigure {
 ///
 /// Propagates grid and statistics failures.
 pub fn run(processor: Processor, reps: usize) -> Result<RegisterFigure> {
+    run_with(processor, reps, &RunOptions::default())
+}
+
+/// [`run`] with explicit execution-engine options.
+///
+/// # Errors
+///
+/// Propagates grid and statistics failures.
+pub fn run_with(
+    processor: Processor,
+    reps: usize,
+    opts: &RunOptions<'_>,
+) -> Result<RegisterFigure> {
     let max_ctrs = processor.uarch().programmable_counters.min(4);
     let mut grid = Grid::new(Benchmark::Null);
     grid.processors = vec![processor];
@@ -57,7 +71,7 @@ pub fn run(processor: Processor, reps: usize) -> Result<RegisterFigure> {
     grid.modes = vec![CountingMode::UserKernel, CountingMode::User];
     grid.event = Event::InstructionsRetired;
     grid.reps = reps.max(1);
-    let records = grid.run()?;
+    let records = grid.run_with(opts)?;
 
     let mut cells = Vec::new();
     for &interface in &[Interface::Pm, Interface::Pc] {

@@ -11,6 +11,7 @@ use counterlab_stats::quantile::median;
 
 use crate::benchmark::Benchmark;
 use crate::config::OptLevel;
+use crate::exec::RunOptions;
 use crate::grid::{Grid, RecordSet};
 use crate::interface::{CountingMode, Interface};
 use crate::pattern::Pattern;
@@ -47,6 +48,15 @@ pub struct TscFigure {
 ///
 /// Propagates grid and statistics failures.
 pub fn run(processor: Processor, reps: usize) -> Result<TscFigure> {
+    run_with(processor, reps, &RunOptions::default())
+}
+
+/// [`run`] with explicit execution-engine options.
+///
+/// # Errors
+///
+/// Propagates grid and statistics failures.
+pub fn run_with(processor: Processor, reps: usize, opts: &RunOptions<'_>) -> Result<TscFigure> {
     let max_ctrs = processor.uarch().programmable_counters.min(4);
     let mut grid = Grid::new(Benchmark::Null);
     grid.processors = vec![processor];
@@ -58,7 +68,7 @@ pub fn run(processor: Processor, reps: usize) -> Result<TscFigure> {
     grid.modes = vec![CountingMode::UserKernel, CountingMode::User];
     grid.event = Event::InstructionsRetired;
     grid.reps = reps.max(1);
-    let records = grid.run()?;
+    let records = grid.run_with(opts)?;
 
     let mut cells = Vec::new();
     for &mode in &[CountingMode::UserKernel, CountingMode::User] {

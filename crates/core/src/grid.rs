@@ -12,6 +12,7 @@ use counterlab_cpu::uarch::Processor;
 
 use crate::benchmark::Benchmark;
 use crate::config::{MeasurementConfig, OptLevel};
+use crate::exec::{self, RunOptions};
 use crate::interface::{CountingMode, Interface};
 use crate::measure::{run_measurement, Record};
 use crate::pattern::Pattern;
@@ -100,64 +101,83 @@ impl Grid {
         self.cell_count() * self.reps
     }
 
-    /// Iterates the valid cells.
-    fn cells(&self) -> impl Iterator<Item = MeasurementConfig> + '_ {
-        let mut out = Vec::new();
-        for &processor in &self.processors {
+    /// Iterates the valid cells lazily, in the canonical enumeration
+    /// order (processor, interface, pattern, optimization level, counter
+    /// count, TSC setting, mode). Nothing is materialized: counting cells
+    /// allocates no memory, and callers that need random access (the
+    /// execution engine) collect exactly once.
+    pub fn cells(&self) -> impl Iterator<Item = MeasurementConfig> + '_ {
+        self.processors.iter().flat_map(move |&processor| {
             let avail = processor.uarch().programmable_counters;
-            for &interface in &self.interfaces {
-                for &pattern in &self.patterns {
-                    if !interface.supports(pattern) {
-                        continue;
-                    }
-                    for &opt_level in &self.opt_levels {
-                        for &counters in &self.counter_counts {
-                            if counters == 0 || counters > avail {
-                                continue;
-                            }
-                            for &tsc_on in &self.tsc_settings {
-                                if !tsc_on && interface != Interface::Pc {
-                                    continue;
-                                }
-                                for &mode in &self.modes {
-                                    out.push(MeasurementConfig {
-                                        processor,
-                                        interface,
-                                        pattern,
-                                        opt_level,
-                                        counters,
-                                        tsc_on,
-                                        mode,
-                                        event: self.event,
-                                        seed: 0, // assigned per rep
-                                        hz: self.hz,
-                                    });
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        out.into_iter()
+            self.interfaces.iter().flat_map(move |&interface| {
+                self.patterns
+                    .iter()
+                    .filter(move |&&pattern| interface.supports(pattern))
+                    .flat_map(move |&pattern| {
+                        self.opt_levels.iter().flat_map(move |&opt_level| {
+                            self.counter_counts
+                                .iter()
+                                .filter(move |&&counters| counters != 0 && counters <= avail)
+                                .flat_map(move |&counters| {
+                                    self.tsc_settings
+                                        .iter()
+                                        .filter(move |&&tsc_on| {
+                                            tsc_on || interface == Interface::Pc
+                                        })
+                                        .flat_map(move |&tsc_on| {
+                                            self.modes.iter().map(move |&mode| {
+                                                MeasurementConfig {
+                                                    processor,
+                                                    interface,
+                                                    pattern,
+                                                    opt_level,
+                                                    counters,
+                                                    tsc_on,
+                                                    mode,
+                                                    event: self.event,
+                                                    seed: 0, // assigned per rep
+                                                    hz: self.hz,
+                                                }
+                                            })
+                                        })
+                                })
+                        })
+                    })
+            })
+        })
     }
 
-    /// Runs the whole grid and returns every record.
+    /// Runs the whole grid through the execution engine with default
+    /// options (one worker per available CPU) and returns every record.
     ///
     /// # Errors
     ///
     /// Propagates the first measurement failure (valid cells shouldn't
     /// fail; a failure indicates a bug, not an expected condition).
     pub fn run(&self) -> Result<Vec<Record>> {
-        let mut records = Vec::with_capacity(self.run_count());
-        for cell in self.cells() {
-            for rep in 0..self.reps {
-                let seed = per_run_seed(self.base_seed, &cell, rep);
-                let cfg = MeasurementConfig { seed, ..cell };
-                records.push(run_measurement(&cfg, self.benchmark)?);
-            }
-        }
-        Ok(records)
+        self.run_with(&RunOptions::default())
+    }
+
+    /// Runs the whole grid with explicit [`RunOptions`].
+    ///
+    /// Records come back in cell-enumeration × repetition order no matter
+    /// how many workers run them: `jobs = 1`, `jobs = N` and [`Grid::run`]
+    /// all produce byte-identical record vectors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the lowest-index measurement failure (see
+    /// [`exec::run_indexed`]).
+    pub fn run_with(&self, opts: &RunOptions<'_>) -> Result<Vec<Record>> {
+        let cells: Vec<MeasurementConfig> = self.cells().collect();
+        let total = cells.len() * self.reps;
+        exec::run_indexed(total, opts, |i| {
+            let cell = &cells[i / self.reps];
+            let rep = i % self.reps;
+            let seed = per_run_seed(self.base_seed, cell, rep);
+            let cfg = MeasurementConfig { seed, ..*cell };
+            run_measurement(&cfg, self.benchmark)
+        })
     }
 }
 

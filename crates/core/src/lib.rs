@@ -16,6 +16,8 @@
 //!   (`pm`, `pc`, `PLpm`, `PLpc`, `PHpm`, `PHpc`; Figure 2);
 //! * [`config`], [`measure`], [`grid`] — the measurement harness and the
 //!   factorial experiment runner (§3.6);
+//! * [`exec`] — the parallel execution engine behind every sweep
+//!   (deterministic results at any worker count);
 //! * [`experiments`] — a generator for **every table and figure** in the
 //!   paper's evaluation;
 //! * [`report`] — text/CSV rendering.
@@ -53,6 +55,7 @@
 pub mod benchmark;
 pub mod compensation;
 pub mod config;
+pub mod exec;
 pub mod experiments;
 pub mod grid;
 pub mod interface;
@@ -80,6 +83,7 @@ pub type Result<T> = std::result::Result<T, CoreError>;
 pub mod prelude {
     pub use crate::benchmark::Benchmark;
     pub use crate::config::{MeasurementConfig, OptLevel};
+    pub use crate::exec::RunOptions;
     pub use crate::grid::{Grid, RecordSet};
     pub use crate::interface::{AnyInterface, CountingMode, Interface};
     pub use crate::measure::{run_measurement, Record};

@@ -133,14 +133,14 @@ pub fn run_measurement(config: &MeasurementConfig, benchmark: Benchmark) -> Resu
             let c0 = api.read()?;
             benchmark.run(api.system_mut(), placement);
             let c1 = api.read()?;
-            c1.saturating_sub(c0)
+            counter_delta(config.pattern, c0, c1)?
         }
         Pattern::ReadStop => {
             api.start()?;
             let c0 = api.read()?;
             benchmark.run(api.system_mut(), placement);
             let c1 = api.stop_read()?;
-            c1.saturating_sub(c0)
+            counter_delta(config.pattern, c0, c1)?
         }
     };
 
@@ -150,6 +150,25 @@ pub fn run_measurement(config: &MeasurementConfig, benchmark: Benchmark) -> Resu
         measured,
         expected: expected_count(config, &benchmark),
     })
+}
+
+/// The count delta `c1 − c0` of a read-first pattern.
+///
+/// A running 64-bit event counter cannot decrease between two reads of
+/// the same measurement, so `c1 < c0` is a broken interface, not a
+/// zero-event run; a saturating subtraction here used to mask such a bug
+/// as a suspiciously perfect `0` count.
+///
+/// # Errors
+///
+/// [`crate::CoreError::CounterWentBackwards`] when `c1 < c0`.
+fn counter_delta(pattern: Pattern, c0: u64, c1: u64) -> Result<u64> {
+    c1.checked_sub(c0)
+        .ok_or(crate::CoreError::CounterWentBackwards {
+            pattern: pattern.code(),
+            first: c0,
+            second: c1,
+        })
 }
 
 /// The statically known count of the primary event for this configuration.
@@ -227,6 +246,45 @@ mod tests {
         let cfg2 = cfg.with_seed(cfg.seed + 1);
         let c = run_measurement(&cfg2, Benchmark::Null).unwrap();
         let _ = c; // value may or may not differ; determinism is the point
+    }
+
+    #[test]
+    fn counter_delta_flags_backwards_counters() {
+        // Forward (and equal) readings pass through exactly.
+        assert_eq!(counter_delta(Pattern::ReadRead, 3, 5).unwrap(), 2);
+        assert_eq!(counter_delta(Pattern::ReadStop, 7, 7).unwrap(), 0);
+        // A backwards counter is an error, not a silent zero.
+        for pattern in [Pattern::ReadRead, Pattern::ReadStop] {
+            let err = counter_delta(pattern, 100, 40).unwrap_err();
+            match err {
+                crate::CoreError::CounterWentBackwards {
+                    pattern: code,
+                    first,
+                    second,
+                } => {
+                    assert_eq!(code, pattern.code());
+                    assert_eq!((first, second), (100, 40));
+                }
+                other => panic!("unexpected error: {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn read_first_patterns_count_forward() {
+        // Both read-first arms must produce a real (positive-error) delta
+        // on every interface that supports them — the healthy path the
+        // old saturating subtraction could silently corrupt.
+        for interface in Interface::ALL {
+            for pattern in [Pattern::ReadRead, Pattern::ReadStop] {
+                if !interface.supports(pattern) {
+                    continue;
+                }
+                let cfg = base(interface).with_pattern(pattern);
+                let rec = run_measurement(&cfg, Benchmark::Null).unwrap();
+                assert!(rec.error() > 0, "{interface}/{pattern}");
+            }
+        }
     }
 
     #[test]

@@ -19,10 +19,24 @@ use crate::measure::Record;
 /// assert!(t.lines().count() >= 4);
 /// ```
 pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
-    let cols = header.len();
-    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    // An empty header would make the separator width `2 * (cols - 1)`
+    // underflow; there is nothing sensible to align against, so the
+    // table is empty.
+    if header.is_empty() {
+        return String::new();
+    }
+    // Rows may carry more cells than the header names: every column that
+    // appears anywhere gets its own width so no row can index past the
+    // computed widths.
+    let cols = header
+        .len()
+        .max(rows.iter().map(Vec::len).max().unwrap_or(0));
+    let mut widths = vec![0usize; cols];
+    for (i, h) in header.iter().enumerate() {
+        widths[i] = h.len();
+    }
     for row in rows {
-        for (i, cell) in row.iter().enumerate().take(cols) {
+        for (i, cell) in row.iter().enumerate() {
             widths[i] = widths[i].max(cell.len());
         }
     }
@@ -50,9 +64,16 @@ pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
+/// Narrowest box plot that can still show all five markers side by side
+/// (`|[ : ]|` plus a little slack); narrower requests are widened to it.
+const MIN_BOXPLOT_WIDTH: usize = 8;
+
 /// Renders one labeled box plot as a text line scaled into `[lo, hi]`:
-/// whiskers `|---[ box ]---|` with the median marked `:`.
+/// whiskers `|---[ box ]---|` with the median marked `:`. Widths below
+/// [`MIN_BOXPLOT_WIDTH`] (notably `0`, which has no cell to put any
+/// marker in) are clamped up to it.
 pub fn boxplot_line(label: &str, bp: &BoxPlot, lo: f64, hi: f64, width: usize) -> String {
+    let width = width.max(MIN_BOXPLOT_WIDTH);
     let span = (hi - lo).max(f64::MIN_POSITIVE);
     let pos = |v: f64| -> usize {
         (((v - lo) / span) * (width.saturating_sub(1)) as f64)
@@ -193,6 +214,39 @@ mod tests {
     }
 
     #[test]
+    fn table_rows_longer_than_header() {
+        // Regression: rows with more cells than the header used to index
+        // past the widths vector and panic.
+        let t = table(
+            &["a"],
+            &[
+                vec!["x".into(), "extra".into(), "more".into()],
+                vec!["y".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].contains("extra"));
+        assert!(lines[2].contains("more"));
+        // The extra columns get their own widths: the separator spans them.
+        assert!(lines[1].len() >= lines[2].len());
+    }
+
+    #[test]
+    fn table_empty_header_is_empty() {
+        // Regression: an empty header used to underflow `2 * (cols - 1)`.
+        assert_eq!(table(&[], &[]), "");
+        assert_eq!(table(&[], &[vec!["orphan".into()]]), "");
+    }
+
+    #[test]
+    fn table_empty_rows_still_render() {
+        let t = table(&["only", "header"], &[]);
+        assert_eq!(t.lines().count(), 2);
+        assert!(t.contains("only"));
+    }
+
+    #[test]
     fn boxplot_line_markers() {
         let bp = BoxPlot::from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
         let line = boxplot_line("test", &bp, 0.0, 6.0, 60);
@@ -207,6 +261,21 @@ mod tests {
         let bp = BoxPlot::from_slice(&[5.0]).unwrap();
         let line = boxplot_line("one", &bp, 0.0, 10.0, 40);
         assert!(line.contains(':') || line.contains('['));
+    }
+
+    #[test]
+    fn boxplot_line_zero_width_clamped() {
+        // Regression: `width == 0` used to index `cells[wl]` on an empty
+        // buffer and panic.
+        let bp = BoxPlot::from_slice(&[1.0, 2.0, 3.0]).unwrap();
+        for width in [0, 1, MIN_BOXPLOT_WIDTH - 1] {
+            let line = boxplot_line("tiny", &bp, 0.0, 4.0, width);
+            assert_eq!(line.len(), 28 + 1 + MIN_BOXPLOT_WIDTH, "width = {width}");
+            assert!(line.contains(':'), "width = {width}");
+        }
+        // At or above the minimum the request is honored exactly.
+        let line = boxplot_line("wide", &bp, 0.0, 4.0, 40);
+        assert_eq!(line.len(), 28 + 1 + 40);
     }
 
     #[test]

@@ -121,7 +121,7 @@ impl Bencher {
                 return;
             }
             // Jump straight towards the target based on what we observed.
-            let observed_ns = elapsed.as_nanos().max(1) as u128;
+            let observed_ns = elapsed.as_nanos().max(1);
             let needed = (TARGET_PER_BENCH.as_nanos() / observed_ns).max(2) as u64;
             n = n.saturating_mul(needed).min(1 << 24);
         }

@@ -56,8 +56,7 @@ impl Arbitrary for f64 {
         // Finite, sign-symmetric, spanning many magnitudes; avoids NaN and
         // infinities, which is what the statistics suites expect of "any"
         // float input they feed into quantile/regression code.
-        let magnitude = rng.f64_unit() * 2e9 - 1e9;
-        magnitude
+        rng.f64_unit() * 2e9 - 1e9
     }
 }
 
