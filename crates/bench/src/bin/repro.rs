@@ -48,12 +48,23 @@ const KNOWN_COMMANDS: &[&str] = &[
 /// nothing).
 const ABLATIONS: &[(&str, &str)] = &[("--no-timer", "fig7"), ("--single-build", "fig11")];
 
+/// Boolean flags that are *not* ablations: they change how commands run,
+/// not which experiment variant runs, so they are exempt from the
+/// ablation-target validation (enforced by the drift-guard test, the
+/// constant's only consumer outside this doc).
+#[cfg_attr(not(test), allow(dead_code))]
+const GLOBAL_FLAGS: &[&str] = &["--stream"];
+
 fn run(args: &[String]) -> Result<(), String> {
     let mut scale = Scale::standard();
     let mut out_dir: Option<PathBuf> = None;
     let mut commands: Vec<String> = Vec::new();
     let mut no_timer = false;
     let mut single_build = false;
+    // Streaming engine: constant-memory per-cell aggregation. The figure
+    // numbers match the batch engine (see the README's streaming section
+    // for the exact/approximate split) and `csv` output is byte-identical.
+    let mut stream = false;
     // 0 = one worker per available CPU (the engine default).
     let mut jobs: usize = 0;
 
@@ -81,6 +92,7 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             "--no-timer" => no_timer = true,
             "--single-build" => single_build = true,
+            "--stream" => stream = true,
             "--help" | "-h" => {
                 println!("{}", HELP);
                 return Ok(());
@@ -126,8 +138,14 @@ fn run(args: &[String]) -> Result<(), String> {
         output.emit("fig3.txt", &tables::fig3()).map_err(err)?;
     }
     if want("fig1") {
-        let o = overview::run_with(scale.grid_reps, &opts).map_err(err)?;
-        output.emit("fig1.txt", &o.render()).map_err(err)?;
+        let text = if stream {
+            overview::run_streaming_with(scale.grid_reps, &opts)
+                .map_err(err)?
+                .render()
+        } else {
+            overview::run_with(scale.grid_reps, &opts).map_err(err)?.render()
+        };
+        output.emit("fig1.txt", &text).map_err(err)?;
     }
     if want("fig4") {
         let f = tsc::run_with(core2(), scale.grid_reps, &opts).map_err(err)?;
@@ -138,41 +156,58 @@ fn run(args: &[String]) -> Result<(), String> {
         output.emit("fig5.txt", &f.render()).map_err(err)?;
     }
     if want("fig6") || want("table3") {
-        let f = infrastructure::run_with(scale.grid_reps, &opts).map_err(err)?;
-        if want("table3") {
+        // Under --stream, table 3 always comes from the streaming engine
+        // (same content whatever else is on the command line). Figure 6's
+        // box plots need whiskers and outliers, which only the batch path
+        // carries, so requesting both under --stream runs the sweep once
+        // per engine.
+        if stream && want("table3") {
+            let f = infrastructure::run_streaming_with(scale.grid_reps, &opts).map_err(err)?;
             output.emit("table3.txt", &f.render_table3()).map_err(err)?;
         }
-        if want("fig6") {
-            output.emit("fig6.txt", &f.render_fig6()).map_err(err)?;
+        if want("fig6") || (!stream && want("table3")) {
+            let f = infrastructure::run_with(scale.grid_reps, &opts).map_err(err)?;
+            if !stream && want("table3") {
+                output.emit("table3.txt", &f.render_table3()).map_err(err)?;
+            }
+            if want("fig6") {
+                output.emit("fig6.txt", &f.render_fig6()).map_err(err)?;
+            }
         }
     }
+    let slopes = |mode, hz| {
+        if stream {
+            duration::run_slopes_streaming_with(
+                mode,
+                &duration::DEFAULT_SIZES,
+                scale.duration_reps,
+                hz,
+                &opts,
+            )
+        } else {
+            duration::run_slopes_with(mode, &duration::DEFAULT_SIZES, scale.duration_reps, hz, &opts)
+        }
+    };
     if want("fig7") {
         let hz = if no_timer { 0 } else { 250 };
-        let f = duration::run_slopes_with(
-            CountingMode::UserKernel,
-            &duration::DEFAULT_SIZES,
-            scale.duration_reps,
-            hz,
-            &opts,
-        )
-        .map_err(err)?;
+        let f = slopes(CountingMode::UserKernel, hz).map_err(err)?;
         output.emit("fig7.txt", &f.render()).map_err(err)?;
     }
     if want("fig8") {
-        let f = duration::run_slopes_with(
-            CountingMode::User,
-            &duration::DEFAULT_SIZES,
-            scale.duration_reps,
-            250,
-            &opts,
-        )
-        .map_err(err)?;
+        let f = slopes(CountingMode::User, 250).map_err(err)?;
         output.emit("fig8.txt", &f.render()).map_err(err)?;
     }
     if want("fig9") {
-        let f = duration::run_fig9_with(core2(), &duration::FIG9_SIZES, scale.fig9_reps, &opts)
-            .map_err(err)?;
-        output.emit("fig9.txt", &f.render()).map_err(err)?;
+        let text = if stream {
+            duration::run_fig9_streaming_with(core2(), &duration::FIG9_SIZES, scale.fig9_reps, &opts)
+                .map_err(err)?
+                .render()
+        } else {
+            duration::run_fig9_with(core2(), &duration::FIG9_SIZES, scale.fig9_reps, &opts)
+                .map_err(err)?
+                .render()
+        };
+        output.emit("fig9.txt", &text).map_err(err)?;
     }
     if want("fig10") {
         let f = cycles::run_fig10_with(&cycles::CYCLE_SIZES, scale.cycle_reps, &opts).map_err(err)?;
@@ -203,16 +238,33 @@ fn run(args: &[String]) -> Result<(), String> {
         output.emit("fig11.txt", &text).map_err(err)?;
     }
     if want("fig12") {
-        let f = cycles::run_fig12_with(&cycles::CYCLE_SIZES, scale.cycle_reps, &opts).map_err(err)?;
+        let f = if stream {
+            cycles::run_fig12_streaming_with(&cycles::CYCLE_SIZES, scale.cycle_reps, &opts)
+                .map_err(err)?
+        } else {
+            cycles::run_fig12_with(&cycles::CYCLE_SIZES, scale.cycle_reps, &opts).map_err(err)?
+        };
         output.emit("fig12.txt", &f.render()).map_err(err)?;
     }
     if want("anova") {
-        let f = anova::run_with(scale.grid_reps.max(3), &opts).map_err(err)?;
+        let f = if stream {
+            anova::run_streaming_with(scale.grid_reps.max(3), &opts).map_err(err)?
+        } else {
+            anova::run_with(scale.grid_reps.max(3), &opts).map_err(err)?
+        };
         output.emit("anova.txt", &f.render()).map_err(err)?;
     }
     if want("ext-cache") {
-        let f = cache::run_with(k8(), 1_600_000, scale.grid_reps.max(4), &opts).map_err(err)?;
-        output.emit("ext-cache.txt", &f.render()).map_err(err)?;
+        let text = if stream {
+            cache::run_streaming_with(k8(), 1_600_000, scale.grid_reps.max(4), &opts)
+                .map_err(err)?
+                .render()
+        } else {
+            cache::run_with(k8(), 1_600_000, scale.grid_reps.max(4), &opts)
+                .map_err(err)?
+                .render()
+        };
+        output.emit("ext-cache.txt", &text).map_err(err)?;
     }
     if want("ext-multiplex") {
         let f = multiplexing::run(8, 250_000).map_err(err)?;
@@ -229,13 +281,47 @@ fn run(args: &[String]) -> Result<(), String> {
                 eprintln!("csv: {}% ({done}/{total})", decile * 10);
             }
         };
-        let records = grid
-            .run_with(&opts.with_progress(&progress))
-            .map_err(err)?;
-        output
-            .write_only("full_grid.csv", &report::records_to_csv(&records))
-            .map_err(err)?;
-        println!("wrote full_grid.csv ({} records)", records.len());
+        let count = if stream {
+            // Streaming path: lines go straight to the file in index
+            // order — byte-identical to the batch serialization, O(1)
+            // memory in the record count. The sink cannot return an
+            // error, so the first I/O failure is stashed and reported
+            // after the run like any other CLI error.
+            use std::io::Write;
+            let mut writer = output.stream_only("full_grid.csv").map_err(err)?;
+            let mut io_error: Option<std::io::Error> = None;
+            let written = grid
+                .run_csv(&opts.with_progress(&progress), |line| {
+                    if io_error.is_none() {
+                        if let Some(w) = &mut writer {
+                            if let Err(e) = w.write_all(line.as_bytes()) {
+                                io_error = Some(e);
+                            }
+                        }
+                    }
+                })
+                .map_err(err)?;
+            if io_error.is_none() {
+                if let Some(w) = &mut writer {
+                    if let Err(e) = w.flush() {
+                        io_error = Some(e);
+                    }
+                }
+            }
+            if let Some(e) = io_error {
+                return Err(format!("writing full_grid.csv: {e}"));
+            }
+            written
+        } else {
+            let records = grid
+                .run_with(&opts.with_progress(&progress))
+                .map_err(err)?;
+            output
+                .write_only("full_grid.csv", &report::records_to_csv(&records))
+                .map_err(err)?;
+            records.len()
+        };
+        println!("wrote full_grid.csv ({count} records)");
     }
     Ok(())
 }
@@ -266,6 +352,14 @@ OPTIONS:
                                 the sweep sequentially on the calling
                                 thread; results are identical either way)
   --out DIR                     also write artifacts into DIR
+  --stream                      run on the streaming statistics engine:
+                                constant-memory per-cell aggregation.
+                                csv output is byte-identical; figure
+                                summaries match the batch engine (P2
+                                quartiles beyond the exact window).
+                                Applies to fig1 table3 fig7 fig8 fig9
+                                fig12 anova ext-cache csv; other commands
+                                run batch as usual.
 
 COMMANDS:
   table1 table2 table3          the paper's tables
@@ -340,6 +434,33 @@ mod tests {
         assert!(e.contains("fig11"), "{e}");
     }
 
+    /// The acceptance-criterion identity at the CLI level: the csv
+    /// artifact is byte-for-byte the same under `--jobs 1`, `--jobs 4`
+    /// and the streaming engine.
+    #[test]
+    fn csv_identical_across_jobs_and_stream() {
+        let base = std::env::temp_dir().join(format!("repro-csv-drift-{}", std::process::id()));
+        let mut outputs = Vec::new();
+        for (name, flags) in [
+            ("j1", &["--jobs", "1"][..]),
+            ("j4", &["--jobs", "4"]),
+            ("stream", &["--jobs", "4", "--stream"]),
+        ] {
+            let dir = base.join(name);
+            let mut a = args(flags);
+            a.extend(args(&["--scale", "quick", "--out", dir.to_str().unwrap(), "csv"]));
+            super::run(&a).unwrap();
+            let csv = std::fs::read_to_string(dir.join("full_grid.csv")).unwrap();
+            assert!(csv.lines().count() > 1000, "{name}: suspiciously small csv");
+            outputs.push((name, csv));
+        }
+        let (_, reference) = &outputs[0];
+        for (name, csv) in &outputs[1..] {
+            assert_eq!(csv, reference, "{name} diverged from --jobs 1");
+        }
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
     #[test]
     fn jobs_flag_validated() {
         for bad in [&["--jobs", "0"][..], &["--jobs", "many"], &["--jobs"]] {
@@ -377,7 +498,8 @@ mod tests {
             );
         }
         // Reverse direction: the parse arms for boolean flags (those with
-        // a `=> name = true` body) must all be declared as ablations.
+        // a `=> name = true` body) must all be declared either as
+        // ablations or as documented global flags.
         for line in source.lines() {
             let Some((arm, body)) = line.trim().split_once(" => ") else {
                 continue;
@@ -387,8 +509,16 @@ mod tests {
             }
             let flag = arm.trim_matches('"');
             assert!(
-                ABLATIONS.iter().any(|&(f, _)| f == flag),
-                "boolean flag {flag:?} parsed but missing from ABLATIONS",
+                ABLATIONS.iter().any(|&(f, _)| f == flag)
+                    || super::GLOBAL_FLAGS.contains(&flag),
+                "boolean flag {flag:?} parsed but missing from ABLATIONS/GLOBAL_FLAGS",
+            );
+        }
+        // Every global flag must be documented in --help.
+        for flag in super::GLOBAL_FLAGS {
+            assert!(
+                super::HELP.split_whitespace().any(|word| word == *flag),
+                "global flag {flag:?} not documented in --help",
             );
         }
     }

@@ -13,6 +13,7 @@
 //! two: repetition presets and output management.
 
 use std::fs;
+use std::io;
 use std::path::{Path, PathBuf};
 
 /// Repetition presets for experiment runs.
@@ -117,6 +118,21 @@ impl Output {
             fs::write(dir.join(name), content)?;
         }
         Ok(())
+    }
+
+    /// Opens `<name>` for incremental writing (the streaming-CSV path:
+    /// lines land on disk as they are produced instead of buffering the
+    /// whole payload). Returns `None` when no output directory is
+    /// configured.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error when the file cannot be created.
+    pub fn stream_only(&self, name: &str) -> std::io::Result<Option<io::BufWriter<fs::File>>> {
+        match &self.dir {
+            Some(dir) => Ok(Some(io::BufWriter::new(fs::File::create(dir.join(name))?))),
+            None => Ok(None),
+        }
     }
 }
 

@@ -72,11 +72,30 @@ impl<'a> RunOptions<'a> {
     /// The worker count this run will actually use for `total` items:
     /// `jobs` resolved against available parallelism and clamped to the
     /// work count (spawning more workers than items is pure overhead).
+    ///
+    /// When `jobs` is `0` (auto), the `COUNTERLAB_JOBS` environment
+    /// variable overrides the CPU count if it parses as a positive
+    /// integer. CI runs the whole test suite under a `COUNTERLAB_JOBS`
+    /// matrix of 1 and 4 so that any jobs-dependence in default-option
+    /// code paths surfaces as a test failure.
     pub fn effective_jobs(&self, total: usize) -> usize {
+        self.effective_jobs_with_env(total, std::env::var("COUNTERLAB_JOBS").ok().as_deref())
+    }
+
+    /// [`RunOptions::effective_jobs`] with the environment override passed
+    /// in explicitly — the pure core, unit-testable without mutating the
+    /// process environment (which would race with concurrently running
+    /// tests and defeat CI's pinned matrix value).
+    fn effective_jobs_with_env(&self, total: usize, env_jobs: Option<&str>) -> usize {
         let requested = if self.jobs == 0 {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
+            env_jobs
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(std::num::NonZeroUsize::get)
+                        .unwrap_or(1)
+                })
         } else {
             self.jobs
         };
@@ -173,6 +192,162 @@ where
         .collect())
 }
 
+/// Runs `work(0..total)` across the configured workers, folding each
+/// item into a per-worker **shard accumulator** instead of materializing
+/// a result vector, and merges the shards **lowest-worker-first**.
+///
+/// This is the constant-memory backbone of the streaming statistics
+/// engine: memory is `O(jobs × |A|)` regardless of `total`. Error
+/// semantics are identical to [`run_indexed`] — on the first failure the
+/// pool stops handing out indices, in-flight items drain, and the error
+/// with the **smallest index** is returned at any worker count.
+///
+/// # Determinism
+///
+/// Which items land in which shard depends on scheduling, so the final
+/// value is bit-reproducible only when the accumulator is
+/// *partition-insensitive* (integer counts, min/max, exact sums).
+/// Floating-point accumulators such as
+/// [`counterlab_stats::stream::Welford`] agree across worker counts to
+/// ≤ 1e-9 relative error (their merge is associative up to rounding); the
+/// equivalence suite locks that tolerance in. When bit-exactness is
+/// required, fold **per cell** instead ([`crate::grid::Grid::run_fold`]
+/// makes the whole cell one work item, which is exact at any `jobs`).
+///
+/// # Errors
+///
+/// The lowest-index error produced by `work`.
+pub fn run_indexed_fold<'a, A, N, F, M>(
+    total: usize,
+    opts: &RunOptions<'a>,
+    new_shard: N,
+    work: F,
+    mut merge: M,
+) -> Result<A>
+where
+    A: Send,
+    N: Fn() -> A + Sync,
+    F: Fn(usize, &mut A) -> Result<()> + Sync,
+    M: FnMut(A, A) -> A,
+{
+    let jobs = opts.effective_jobs(total);
+    if jobs <= 1 {
+        let mut shard = new_shard();
+        for i in 0..total {
+            work(i, &mut shard)?;
+            if let Some(progress) = opts.progress {
+                progress(i + 1, total);
+            }
+        }
+        return Ok(shard);
+    }
+
+    let next = AtomicUsize::new(0);
+    let completed = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let first_error: Mutex<Option<(usize, CoreError)>> = Mutex::new(None);
+
+    let worker = || {
+        let mut shard = new_shard();
+        loop {
+            if stop.load(Ordering::Acquire) {
+                break;
+            }
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= total {
+                break;
+            }
+            match work(i, &mut shard) {
+                Ok(()) => {
+                    let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                    if let Some(progress) = opts.progress {
+                        progress(done, total);
+                    }
+                }
+                Err(e) => {
+                    let mut guard = first_error.lock().expect("engine error mutex");
+                    if guard.as_ref().is_none_or(|(at, _)| i < *at) {
+                        *guard = Some((i, e));
+                    }
+                    drop(guard);
+                    stop.store(true, Ordering::Release);
+                }
+            }
+        }
+        shard
+    };
+
+    // Shards come back in spawn order, so the merge is always
+    // lowest-worker-first however the scheduler interleaved the joins.
+    let mut shards: Vec<A> = Vec::with_capacity(jobs);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs).map(|_| scope.spawn(worker)).collect();
+        for handle in handles {
+            shards.push(handle.join().expect("engine worker panicked"));
+        }
+    });
+
+    if let Some((_, e)) = first_error.into_inner().expect("engine error mutex") {
+        return Err(e);
+    }
+    let mut merged = shards.remove(0);
+    for shard in shards {
+        merged = merge(merged, shard);
+    }
+    Ok(merged)
+}
+
+/// Chunk size of [`run_indexed_each`]: large enough to amortize pool
+/// startup, small enough that resident memory stays flat.
+const EACH_CHUNK: usize = 2048;
+
+/// Runs `work(0..total)` across the configured workers and hands each
+/// result to `each` **in index order**, holding at most one bounded chunk
+/// of results in memory at a time.
+///
+/// The observable output (call order and values of `each`) is
+/// byte-identical to iterating [`run_indexed`]'s vector, at any worker
+/// count — this is what keeps `repro --stream csv` bit-equal to the batch
+/// path while using `O(1)` memory in the record count.
+///
+/// # Errors
+///
+/// The lowest-index error produced by `work`; `each` is never called for
+/// indices at or beyond a failed chunk's error.
+pub fn run_indexed_each<'a, T, F, S>(
+    total: usize,
+    opts: &RunOptions<'a>,
+    work: F,
+    mut each: S,
+) -> Result<()>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T> + Sync,
+    S: FnMut(usize, T),
+{
+    let mut start = 0;
+    while start < total {
+        let len = EACH_CHUNK.min(total - start);
+        // Progress inside the chunk is offset to stay monotone over the
+        // whole run.
+        let progress_shim = |done: usize, _chunk_total: usize| {
+            if let Some(progress) = opts.progress {
+                progress(start + done, total);
+            }
+        };
+        let chunk_opts = RunOptions {
+            jobs: opts.effective_jobs(total),
+            progress: opts.progress.is_some().then_some(&progress_shim),
+        };
+        let chunk = run_indexed(len, &chunk_opts, |i| work(start + i))?;
+        for (offset, value) in chunk.into_iter().enumerate() {
+            each(start + offset, value);
+        }
+        start += len;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,5 +420,139 @@ mod tests {
         };
         let err = run_indexed(64, &RunOptions::with_jobs(4), work).unwrap_err();
         assert!(err.to_string().contains("all fail"));
+    }
+
+    #[test]
+    fn fold_sums_match_at_any_worker_count() {
+        // Integer sums are partition-insensitive, so the fold must be
+        // bit-exact at every jobs value.
+        let expected: u64 = (0..1000u64).map(|i| i * i).sum();
+        for jobs in [1, 2, 4, 8] {
+            let sum = run_indexed_fold(
+                1000,
+                &RunOptions::with_jobs(jobs),
+                || 0u64,
+                |i, acc| {
+                    *acc += (i as u64) * (i as u64);
+                    Ok(())
+                },
+                |a, b| a + b,
+            )
+            .unwrap();
+            assert_eq!(sum, expected, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn fold_merges_every_shard_in_one_left_fold() {
+        // Workers are externally indistinguishable, so "lowest-worker-
+        // first" cannot be observed from outside (it exists to make the
+        // merge order a fixed left fold over spawn order rather than
+        // join-completion order). What *is* observable: exactly
+        // `jobs − 1` merges happen, every original shard enters the fold
+        // exactly once as a right argument, nothing is lost, and — the
+        // contract that matters to accumulators — partition-insensitive
+        // folds come out exact (fold_sums_match_at_any_worker_count).
+        let merge_count = AtomicUsize::new(0);
+        let merged = run_indexed_fold(
+            64,
+            &RunOptions::with_jobs(4),
+            Vec::new,
+            |i, acc: &mut Vec<usize>| {
+                acc.push(i);
+                Ok(())
+            },
+            |mut a, b| {
+                merge_count.fetch_add(1, Ordering::Relaxed);
+                a.extend(b);
+                a
+            },
+        )
+        .unwrap();
+        assert_eq!(merge_count.load(Ordering::Relaxed), 3, "jobs − 1 merges");
+        let mut sorted = merged.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fold_lowest_index_error_wins() {
+        let work = |i: usize, acc: &mut u64| {
+            if i % 10 == 3 {
+                return Err(CoreError::InvalidConfig(format!("fold boom at {i}")));
+            }
+            *acc += 1;
+            Ok(())
+        };
+        for jobs in [1, 2, 4, 8] {
+            let err =
+                run_indexed_fold(100, &RunOptions::with_jobs(jobs), || 0u64, work, |a, b| a + b)
+                    .unwrap_err();
+            assert!(
+                err.to_string().contains("fold boom at 3"),
+                "jobs = {jobs}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn fold_empty_returns_initial_shard() {
+        let v = run_indexed_fold(
+            0,
+            &RunOptions::with_jobs(4),
+            || 7u64,
+            |_, _| Ok(()),
+            |a, b| a + b,
+        )
+        .unwrap();
+        assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn each_streams_in_index_order() {
+        let work = |i: usize| Ok(i * 3);
+        for jobs in [1, 3, 8] {
+            let mut seen = Vec::new();
+            run_indexed_each(EACH_CHUNK * 2 + 17, &RunOptions::with_jobs(jobs), work, |i, v| {
+                seen.push((i, v));
+            })
+            .unwrap();
+            assert_eq!(seen.len(), EACH_CHUNK * 2 + 17);
+            for (at, (i, v)) in seen.iter().enumerate() {
+                assert_eq!((at, at * 3), (*i, *v), "jobs = {jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn each_propagates_lowest_index_error() {
+        let work = |i: usize| -> Result<usize> {
+            if i == 5 {
+                Err(CoreError::InvalidConfig("each boom".into()))
+            } else {
+                Ok(i)
+            }
+        };
+        let mut last = None;
+        let err = run_indexed_each(100, &RunOptions::with_jobs(4), work, |i, _| last = Some(i))
+            .unwrap_err();
+        assert!(err.to_string().contains("each boom"));
+        // Nothing past the failing chunk was delivered.
+        assert!(last.is_none_or(|i| i < EACH_CHUNK));
+    }
+
+    #[test]
+    fn env_var_overrides_auto_jobs() {
+        // `jobs = 0` honors COUNTERLAB_JOBS; explicit jobs ignore it.
+        // Tested through the pure core so the process environment (which
+        // CI pins for its jobs matrix) is never touched.
+        let auto = RunOptions::with_jobs(0);
+        assert_eq!(auto.effective_jobs_with_env(100, Some("3")), 3);
+        assert_eq!(auto.effective_jobs_with_env(2, Some("3")), 2, "clamped to total");
+        assert!(auto.effective_jobs_with_env(100, Some("not-a-number")) >= 1);
+        assert!(auto.effective_jobs_with_env(100, Some("0")) >= 1);
+        assert!(auto.effective_jobs_with_env(100, None) >= 1);
+        let explicit = RunOptions::with_jobs(2);
+        assert_eq!(explicit.effective_jobs_with_env(100, Some("7")), 2);
     }
 }

@@ -9,6 +9,7 @@
 use counterlab_cpu::pmu::Event;
 use counterlab_cpu::uarch::Processor;
 use counterlab_stats::anova::{Anova, AnovaTable, Factor};
+use counterlab_stats::stream::Welford;
 
 use crate::benchmark::Benchmark;
 use crate::config::OptLevel;
@@ -46,12 +47,9 @@ pub fn run(reps: usize) -> Result<AnovaExperiment> {
     run_with(reps, &RunOptions::default())
 }
 
-/// [`run`] with explicit execution-engine options.
-///
-/// # Errors
-///
-/// Propagates grid and ANOVA failures.
-pub fn run_with(reps: usize, opts: &RunOptions<'_>) -> Result<AnovaExperiment> {
+/// The §4.3 grid: null benchmark, all five factors swept, user+kernel
+/// instruction error as the response.
+fn anova_grid(reps: usize) -> Grid {
     let mut grid = Grid::new(Benchmark::Null);
     grid.processors = Processor::ALL.to_vec();
     grid.interfaces = Interface::ALL.to_vec();
@@ -62,41 +60,86 @@ pub fn run_with(reps: usize, opts: &RunOptions<'_>) -> Result<AnovaExperiment> {
     grid.modes = vec![CountingMode::UserKernel];
     grid.event = Event::InstructionsRetired;
     grid.reps = reps.max(2);
-    let records = grid.run_with(opts)?;
+    grid
+}
 
-    let mut anova = Anova::new(vec![
+/// The empty five-factor accumulator with the paper's factor declaration.
+fn anova_skeleton() -> Anova {
+    Anova::new(vec![
         Factor::new(FACTORS[0], Processor::ALL.iter().map(|p| p.code())),
         Factor::new(FACTORS[1], Interface::ALL.iter().map(|i| i.code())),
         Factor::new(FACTORS[2], Pattern::ALL.iter().map(|p| p.code())),
         Factor::new(FACTORS[3], OptLevel::ALL.iter().map(|o| o.flag())),
         Factor::new(FACTORS[4], ["1", "2", "3", "4"]),
-    ]);
+    ])
+}
+
+/// The five factor-level indices of a cell.
+fn levels_of(config: &crate::config::MeasurementConfig) -> [usize; 5] {
+    [
+        Processor::ALL
+            .iter()
+            .position(|p| *p == config.processor)
+            .expect("known processor"),
+        Interface::ALL
+            .iter()
+            .position(|i| *i == config.interface)
+            .expect("known interface"),
+        Pattern::ALL
+            .iter()
+            .position(|p| *p == config.pattern)
+            .expect("known pattern"),
+        OptLevel::ALL
+            .iter()
+            .position(|o| *o == config.opt_level)
+            .expect("known level"),
+        config.counters - 1,
+    ]
+}
+
+/// [`run`] with explicit execution-engine options.
+///
+/// # Errors
+///
+/// Propagates grid and ANOVA failures.
+pub fn run_with(reps: usize, opts: &RunOptions<'_>) -> Result<AnovaExperiment> {
+    let records = anova_grid(reps).run_with(opts)?;
+    let mut anova = anova_skeleton();
     for r in &records {
-        let levels = [
-            Processor::ALL
-                .iter()
-                .position(|p| *p == r.config.processor)
-                .expect("known processor"),
-            Interface::ALL
-                .iter()
-                .position(|i| *i == r.config.interface)
-                .expect("known interface"),
-            Pattern::ALL
-                .iter()
-                .position(|p| *p == r.config.pattern)
-                .expect("known pattern"),
-            OptLevel::ALL
-                .iter()
-                .position(|o| *o == r.config.opt_level)
-                .expect("known level"),
-            r.config.counters - 1,
-        ];
-        anova.add(&levels, r.error() as f64)?;
+        anova.add(&levels_of(&r.config), r.error() as f64)?;
     }
     let table = anova.run()?;
     Ok(AnovaExperiment {
         table,
         measurements: records.len(),
+    })
+}
+
+/// [`run`] on the streaming engine: each grid cell folds its repetitions
+/// into one [`Welford`] accumulator, and the cells feed
+/// [`Anova::add_group`] in enumeration order — no record vector is ever
+/// materialized, and the result is deterministic at any worker count (the
+/// per-cell fold is exact; see [`crate::grid::Grid::run_fold`]).
+///
+/// # Errors
+///
+/// Propagates grid and ANOVA failures.
+pub fn run_streaming_with(reps: usize, opts: &RunOptions<'_>) -> Result<AnovaExperiment> {
+    let cells = anova_grid(reps).run_fold(
+        opts,
+        |_| Welford::new(),
+        |acc, record| acc.push(record.error() as f64),
+    )?;
+    let mut anova = anova_skeleton();
+    let mut measurements = 0usize;
+    for (config, group) in &cells {
+        measurements += group.count() as usize;
+        anova.add_group(&levels_of(config), group)?;
+    }
+    let table = anova.run()?;
+    Ok(AnovaExperiment {
+        table,
+        measurements,
     })
 }
 
@@ -164,5 +207,28 @@ mod tests {
         let text = exp.render();
         assert!(text.contains("ANOVA"));
         assert!(text.contains("REPRODUCED"));
+    }
+
+    #[test]
+    fn streaming_matches_batch_table() {
+        let batch = run(2).unwrap();
+        let stream = run_streaming_with(2, &RunOptions::default()).unwrap();
+        assert_eq!(stream.measurements, batch.measurements);
+        assert_eq!(stream.table.n(), batch.table.n());
+        for row in batch.table.rows() {
+            let s = stream.table.row(&row.factor).unwrap();
+            assert_eq!(s.df, row.df, "{}", row.factor);
+            // Grouped sums differ from per-record sums only by
+            // float-summation rounding.
+            let tol = 1e-9 * row.sum_sq.abs().max(1.0);
+            assert!(
+                (s.sum_sq - row.sum_sq).abs() <= tol,
+                "{}: {} vs {}",
+                row.factor,
+                s.sum_sq,
+                row.sum_sq
+            );
+        }
+        assert_eq!(stream.matches_paper(0.001), batch.matches_paper(0.001));
     }
 }

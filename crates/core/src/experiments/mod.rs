@@ -17,6 +17,18 @@
 //! Every experiment takes a repetition parameter so the full paper-scale
 //! sweep (hundreds of thousands of measurements) and a quick smoke run
 //! share one code path.
+//!
+//! Most drivers also expose a `run_streaming_with` variant (or a
+//! `*_streaming_with` sibling per figure) built on the streaming
+//! statistics engine: the same simulated runs — identical per-run seeds —
+//! folded into constant-memory accumulators
+//! ([`counterlab_stats::stream`]) instead of a materialized record
+//! vector. Summaries agree with the batch drivers within the tolerances
+//! documented there (exactly, for counts/extremes/in-window quantiles);
+//! `tests/streaming_equivalence.rs` locks the contract in. Use streaming
+//! when pushing repetition counts beyond what `cells × reps` records fit
+//! in memory; use batch when a figure needs the raw sample (KDE violins,
+//! box-plot outliers, bootstrap CIs).
 
 pub mod anova;
 pub mod cache;

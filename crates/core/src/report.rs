@@ -127,6 +127,20 @@ pub fn violin_text(kde: &Kde, rows: usize, width: usize) -> String {
     out
 }
 
+/// Renders a histogram as horizontal ASCII bars, one row per bin (the
+/// streaming counterpart of [`violin_text`]: bin density instead of a
+/// KDE silhouette).
+pub fn histogram_text(h: &counterlab_stats::histogram::Histogram, width: usize) -> String {
+    let cmax = h.counts().iter().copied().max().unwrap_or(0).max(1);
+    let mut out = String::new();
+    for (i, &c) in h.counts().iter().enumerate() {
+        let bars = ((c as f64 / cmax as f64) * width as f64).round() as usize;
+        let mid = (h.bin_lo(i) + h.bin_hi(i)) / 2.0;
+        out.push_str(&format!("{mid:>14.1} |{}\n", "#".repeat(bars)));
+    }
+    out
+}
+
 /// Sketches a scatter plot: `points` are `(x, y)`; the canvas is
 /// `width × height` characters with `*` marks.
 pub fn scatter_text(points: &[(f64, f64)], width: usize, height: usize) -> String {
@@ -166,28 +180,37 @@ pub fn scatter_text(points: &[(f64, f64)], width: usize, height: usize) -> Strin
 
 /// Serializes records as CSV (one row per measurement).
 pub fn records_to_csv(records: &[Record]) -> String {
-    let mut out = String::from(
-        "processor,interface,pattern,opt_level,counters,tsc,mode,event,benchmark,iters,measured,expected,error\n",
-    );
+    let mut out = String::from(CSV_HEADER);
     for r in records {
-        out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
-            r.config.processor,
-            r.config.interface,
-            r.config.pattern.code(),
-            r.config.opt_level.level(),
-            r.config.counters,
-            r.config.tsc_on,
-            r.config.mode,
-            r.config.event,
-            r.benchmark.name(),
-            r.benchmark.iterations(),
-            r.measured,
-            r.expected,
-            r.error()
-        ));
+        out.push_str(&record_to_csv_line(r));
     }
     out
+}
+
+/// The header line shared by [`records_to_csv`] and the streaming CSV
+/// path ([`crate::grid::Grid::run_csv`]).
+pub const CSV_HEADER: &str =
+    "processor,interface,pattern,opt_level,counters,tsc,mode,event,benchmark,iters,measured,expected,error\n";
+
+/// One record's CSV line (newline-terminated), exactly as
+/// [`records_to_csv`] serializes it.
+pub fn record_to_csv_line(r: &Record) -> String {
+    format!(
+        "{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+        r.config.processor,
+        r.config.interface,
+        r.config.pattern.code(),
+        r.config.opt_level.level(),
+        r.config.counters,
+        r.config.tsc_on,
+        r.config.mode,
+        r.config.event,
+        r.benchmark.name(),
+        r.benchmark.iterations(),
+        r.measured,
+        r.expected,
+        r.error()
+    )
 }
 
 #[cfg(test)]

@@ -11,6 +11,11 @@ use crate::{Result, StatsError};
 /// Returns [`StatsError::EmptyInput`] for an empty slice and
 /// [`StatsError::NonFinite`] if any value is NaN or infinite.
 ///
+/// This is the **shared batch/streaming contract**: the streaming
+/// [`crate::stream::Welford::mean`] returns exactly the same errors for
+/// the same inputs (`n = 0` → `EmptyInput`, any non-finite observation →
+/// `NonFinite`), so the two paths are drop-in interchangeable.
+///
 /// # Examples
 ///
 /// ```
@@ -33,6 +38,17 @@ pub fn mean(xs: &[f64]) -> Result<f64> {
 /// Returns [`StatsError::EmptyInput`] for an empty slice,
 /// [`StatsError::NonFinite`] for non-finite input, and
 /// [`StatsError::InvalidParameter`] if the sample has fewer than two points.
+///
+/// This is the **shared batch/streaming contract**: the streaming
+/// [`crate::stream::Welford::variance`] returns exactly the same errors
+/// for the same inputs (`n = 0` → `EmptyInput`, `n = 1` →
+/// `InvalidParameter`, any non-finite observation → `NonFinite`). Note
+/// the distinct singleton conventions, identical on both paths: the
+/// strict `variance`/[`crate::stream::Welford::variance`] accessors
+/// reject `n = 1`, while the whole-sample summaries
+/// ([`Summary::from_slice`] and [`crate::stream::Welford::finish`] /
+/// [`crate::stream::SummaryAccumulator::finish`]) report a standard
+/// deviation of `0.0` for a singleton.
 pub fn variance(xs: &[f64]) -> Result<f64> {
     check_sample(xs)?;
     if xs.len() < 2 {
@@ -141,6 +157,31 @@ impl Summary {
             q3: q(0.75)?,
             max: sorted[sorted.len() - 1],
         })
+    }
+
+    /// Assembles a summary from already-computed parts (the closing step
+    /// of [`crate::stream::SummaryAccumulator::finish`]).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        n: usize,
+        mean: f64,
+        std_dev: f64,
+        min: f64,
+        q1: f64,
+        median: f64,
+        q3: f64,
+        max: f64,
+    ) -> Self {
+        Summary {
+            n,
+            mean,
+            std_dev,
+            min,
+            q1,
+            median,
+            q3,
+            max,
+        }
     }
 
     /// Number of observations.

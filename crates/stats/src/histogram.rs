@@ -74,6 +74,18 @@ impl Histogram {
         Ok(h)
     }
 
+    /// Assembles a histogram from already-binned counts (the closing step
+    /// of [`crate::stream::StreamingHistogram::finish`]).
+    pub(crate) fn from_parts(lo: f64, hi: f64, counts: Vec<u64>, below: u64, above: u64) -> Self {
+        Histogram {
+            lo,
+            hi,
+            counts,
+            below,
+            above,
+        }
+    }
+
     /// Adds one observation. Values outside `[lo, hi]` are tallied in the
     /// under/overflow counters; NaN is ignored.
     pub fn add(&mut self, x: f64) {

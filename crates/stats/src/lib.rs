@@ -46,6 +46,7 @@ pub mod kde;
 pub mod quantile;
 pub mod regression;
 pub mod special;
+pub mod stream;
 pub mod violin;
 
 mod error;
@@ -63,6 +64,9 @@ pub mod prelude {
     pub use crate::kde::Kde;
     pub use crate::quantile::{median, quantile};
     pub use crate::regression::LinearFit;
+    pub use crate::stream::{
+        Covariance, P2Quantile, StreamingHistogram, SummaryAccumulator, Welford,
+    };
     pub use crate::violin::Violin;
     pub use crate::StatsError;
 }
