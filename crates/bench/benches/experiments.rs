@@ -5,6 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
+use counterlab::exec::RunOptions;
 use counterlab::experiments::{
     anova, cycles, duration, infrastructure, overview, registers, tables, tsc,
 };
@@ -21,7 +22,7 @@ fn bench_fig1_overview(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig1_overview");
     g.sample_size(10);
     g.bench_function("full_null_grid", |b| {
-        b.iter(|| overview::run(1).expect("fig1"))
+        b.iter(|| overview::run_with(1, &RunOptions::default()).expect("fig1"))
     });
     g.finish();
 }
@@ -30,7 +31,7 @@ fn bench_fig4_tsc(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig4_tsc");
     g.sample_size(10);
     g.bench_function("cd_tsc_matrix", |b| {
-        b.iter(|| tsc::run(Processor::Core2Duo, 1).expect("fig4"))
+        b.iter(|| tsc::run_with(Processor::Core2Duo, 1, &RunOptions::default()).expect("fig4"))
     });
     g.finish();
 }
@@ -39,7 +40,7 @@ fn bench_fig5_registers(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig5_registers");
     g.sample_size(10);
     g.bench_function("k8_register_sweep", |b| {
-        b.iter(|| registers::run(Processor::AthlonK8, 1).expect("fig5"))
+        b.iter(|| registers::run_with(Processor::AthlonK8, 1, &RunOptions::default()).expect("fig5"))
     });
     g.finish();
 }
@@ -48,7 +49,7 @@ fn bench_fig6_table3_infrastructure(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig6_table3_infrastructure");
     g.sample_size(10);
     g.bench_function("best_pattern_search", |b| {
-        b.iter(|| infrastructure::run(1).expect("fig6"))
+        b.iter(|| infrastructure::run_with(1, &RunOptions::default()).expect("fig6"))
     });
     g.finish();
 }
@@ -58,10 +59,10 @@ fn bench_fig7_fig8_duration(c: &mut Criterion) {
     g.sample_size(10);
     let sizes = [100_000u64, 1_000_000];
     g.bench_function("user_kernel_slopes", |b| {
-        b.iter(|| duration::run_slopes(CountingMode::UserKernel, &sizes, 2, 250).expect("fig7"))
+        b.iter(|| duration::run_slopes_with(CountingMode::UserKernel, &sizes, 2, 250, &RunOptions::default()).expect("fig7"))
     });
     g.bench_function("user_slopes", |b| {
-        b.iter(|| duration::run_slopes(CountingMode::User, &sizes, 2, 250).expect("fig8"))
+        b.iter(|| duration::run_slopes_with(CountingMode::User, &sizes, 2, 250, &RunOptions::default()).expect("fig8"))
     });
     g.finish();
 }
@@ -71,7 +72,8 @@ fn bench_fig9_kernel_instr(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("pc_cd_by_loop_size", |b| {
         b.iter(|| {
-            duration::run_fig9(Processor::Core2Duo, &[1, 500_000, 1_000_000], 10).expect("fig9")
+            duration::run_fig9_with(Processor::Core2Duo, &[1, 500_000, 1_000_000], 10, &RunOptions::default())
+                .expect("fig9")
         })
     });
     g.finish();
@@ -82,13 +84,13 @@ fn bench_fig10_12_cycles(c: &mut Criterion) {
     g.sample_size(10);
     let sizes = [200_000u64, 600_000, 1_000_000];
     g.bench_function("fig10_scatter", |b| {
-        b.iter(|| cycles::run_fig10(&sizes, 1).expect("fig10"))
+        b.iter(|| cycles::run_fig10_with(&sizes, 1, &RunOptions::default()).expect("fig10"))
     });
     g.bench_function("fig11_bimodality", |b| {
-        b.iter(|| cycles::run_fig11(&sizes, 1).expect("fig11"))
+        b.iter(|| cycles::run_fig11_with(&sizes, 1, &RunOptions::default()).expect("fig11"))
     });
     g.bench_function("fig12_panels", |b| {
-        b.iter(|| cycles::run_fig12(&sizes, 1).expect("fig12"))
+        b.iter(|| cycles::run_fig12_with(&sizes, 1, &RunOptions::default()).expect("fig12"))
     });
     g.finish();
 }
@@ -96,7 +98,7 @@ fn bench_fig10_12_cycles(c: &mut Criterion) {
 fn bench_anova(c: &mut Criterion) {
     let mut g = c.benchmark_group("anova");
     g.sample_size(10);
-    g.bench_function("five_factor", |b| b.iter(|| anova::run(2).expect("anova")));
+    g.bench_function("five_factor", |b| b.iter(|| anova::run_with(2, &RunOptions::default()).expect("anova")));
     g.finish();
 }
 

@@ -2,27 +2,21 @@
 //!
 //! ```text
 //! repro [--scale quick|standard|paper] [--jobs N] [--out DIR] COMMAND...
-//!
-//! Commands:
-//!   table1 table2 table3 fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9
-//!   fig10 fig11 fig12 anova ext-cache ext-multiplex csv all
-//!
-//! Ablations (rejected unless their target command is requested):
-//!   fig7 --no-timer        HZ=0: the duration slopes collapse
-//!   fig11 --single-build   one (pattern, -O) build: bimodality collapses
 //! ```
+//!
+//! The command set, `--stream` eligibility, ablation flags and artifact
+//! names all come from [`counterlab::experiment::registry`] — this
+//! binary is a data-driven loop over that catalog, with no per-figure
+//! dispatch of its own. `repro list` prints the catalog.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use counterlab::exec::RunOptions;
-use counterlab::experiments::{
-    anova, cache, cycles, duration, infrastructure, multiplexing, overview, registers, tables, tsc,
+use counterlab::experiment::{
+    ablation_owner, registry, suggest, ConsoleSink, EngineMode, ExperimentCtx, Scale,
 };
-use counterlab::interface::CountingMode;
 use counterlab::report;
-use counterlab_bench::{Output, Scale};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,42 +29,27 @@ fn main() -> ExitCode {
     }
 }
 
-/// Every COMMAND the dispatch below understands; anything else is a
-/// usage error rather than a silent no-op.
-const KNOWN_COMMANDS: &[&str] = &[
-    "table1", "table2", "table3", "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-    "fig10", "fig11", "fig12", "anova", "ext-cache", "ext-multiplex", "csv", "all",
-];
-
-/// Every ablation flag and the single command it modifies. Passing an
-/// ablation without its target command is a usage error rather than a
-/// silent no-op (`repro fig8 --no-timer` used to parse fine and change
-/// nothing).
-const ABLATIONS: &[(&str, &str)] = &[("--no-timer", "fig7"), ("--single-build", "fig11")];
-
-/// Boolean flags that are *not* ablations: they change how commands run,
-/// not which experiment variant runs, so they are exempt from the
-/// ablation-target validation (enforced by the drift-guard test, the
-/// constant's only consumer outside this doc).
-#[cfg_attr(not(test), allow(dead_code))]
-const GLOBAL_FLAGS: &[&str] = &["--stream"];
+/// Pseudo-commands understood besides the registry's experiment ids.
+const ALL: &str = "all";
+const LIST: &str = "list";
 
 fn run(args: &[String]) -> Result<(), String> {
     let mut scale = Scale::standard();
     let mut out_dir: Option<PathBuf> = None;
-    let mut commands: Vec<String> = Vec::new();
-    let mut no_timer = false;
-    let mut single_build = false;
-    // Streaming engine: constant-memory per-cell aggregation. The figure
-    // numbers match the batch engine (see the README's streaming section
-    // for the exact/approximate split) and `csv` output is byte-identical.
+    let mut commands: Vec<&'static str> = Vec::new();
+    let mut ablations: Vec<&'static str> = Vec::new();
+    let mut list = false;
+    // Streaming engine: constant-memory per-cell aggregation. Experiments
+    // whose capabilities don't claim streaming run batch as usual, and
+    // `csv` output is byte-identical either way.
     let mut stream = false;
     // 0 = one worker per available CPU (the engine default).
     let mut jobs: usize = 0;
 
     let mut i = 0;
     while i < args.len() {
-        match args[i].as_str() {
+        let arg = args[i].as_str();
+        match arg {
             "--scale" => {
                 i += 1;
                 let name = args.get(i).ok_or("--scale needs a value")?;
@@ -90,238 +69,87 @@ fn run(args: &[String]) -> Result<(), String> {
                     .filter(|&n| n >= 1)
                     .ok_or_else(|| format!("--jobs needs a thread count >= 1, got {value:?}"))?;
             }
-            "--no-timer" => no_timer = true,
-            "--single-build" => single_build = true,
             "--stream" => stream = true,
             "--help" | "-h" => {
-                println!("{}", HELP);
+                println!("{}", help());
                 return Ok(());
             }
-            cmd if KNOWN_COMMANDS.contains(&cmd) => commands.push(cmd.to_string()),
-            cmd => return Err(format!("unknown command {cmd:?}; see --help")),
+            LIST => list = true,
+            ALL => commands.push(ALL),
+            cmd => {
+                // The registry is the single source of truth for both the
+                // command ids and the ablation flags.
+                if let Some(exp) = counterlab::experiment::find(cmd) {
+                    commands.push(exp.id());
+                } else if let Some(owner) = ablation_owner(cmd) {
+                    let flag = owner
+                        .capabilities()
+                        .ablations
+                        .iter()
+                        .find(|a| a.flag == cmd)
+                        .expect("owner declares the flag")
+                        .flag;
+                    ablations.push(flag);
+                } else {
+                    return Err(unknown_command(cmd));
+                }
+            }
         }
         i += 1;
     }
+
+    if list {
+        println!("{}", render_list());
+        if commands.is_empty() {
+            return Ok(());
+        }
+    }
     if commands.is_empty() {
-        println!("{}", HELP);
+        println!("{}", help());
         return Ok(());
     }
 
-    let all = commands.iter().any(|c| c == "all");
-    let want = |c: &str| all || commands.iter().any(|x| x == c);
+    let all = commands.contains(&ALL);
+    let want = |c: &str| all || commands.contains(&c);
 
-    // Usage validation comes before any side effect (Output::new creates
-    // the --out directory), so a rejected command line leaves no trace.
-    for &(flag, target) in ABLATIONS {
-        let requested = match flag {
-            "--no-timer" => no_timer,
-            "--single-build" => single_build,
-            _ => unreachable!("ablation list drifted"),
-        };
-        if requested && !want(target) {
+    // Usage validation comes before any side effect (ConsoleSink::new
+    // creates the --out directory), so a rejected command line leaves no
+    // trace. An ablation flag without its target command is a usage
+    // error, not a silent no-op.
+    for &flag in &ablations {
+        let target = ablation_owner(flag).expect("parsed from registry").id();
+        if !want(target) {
             return Err(format!(
                 "{flag} only affects {target}; add {target} to the command list"
             ));
         }
     }
 
-    let output = Output::new(out_dir.as_deref()).map_err(|e| e.to_string())?;
-    let opts = RunOptions::with_jobs(jobs);
-
-    if want("table1") {
-        output.emit("table1.txt", &tables::table1()).map_err(err)?;
-    }
-    if want("table2") {
-        output.emit("table2.txt", &tables::table2()).map_err(err)?;
-    }
-    if want("fig3") {
-        output.emit("fig3.txt", &tables::fig3()).map_err(err)?;
-    }
-    if want("fig1") {
-        let text = if stream {
-            overview::run_streaming_with(scale.grid_reps, &opts)
-                .map_err(err)?
-                .render()
-        } else {
-            overview::run_with(scale.grid_reps, &opts).map_err(err)?.render()
-        };
-        output.emit("fig1.txt", &text).map_err(err)?;
-    }
-    if want("fig4") {
-        let f = tsc::run_with(core2(), scale.grid_reps, &opts).map_err(err)?;
-        output.emit("fig4.txt", &f.render()).map_err(err)?;
-    }
-    if want("fig5") {
-        let f = registers::run_with(k8(), scale.grid_reps, &opts).map_err(err)?;
-        output.emit("fig5.txt", &f.render()).map_err(err)?;
-    }
-    if want("fig6") || want("table3") {
-        // Under --stream, table 3 always comes from the streaming engine
-        // (same content whatever else is on the command line). Figure 6's
-        // box plots need whiskers and outliers, which only the batch path
-        // carries, so requesting both under --stream runs the sweep once
-        // per engine.
-        if stream && want("table3") {
-            let f = infrastructure::run_streaming_with(scale.grid_reps, &opts).map_err(err)?;
-            output.emit("table3.txt", &f.render_table3()).map_err(err)?;
-        }
-        if want("fig6") || (!stream && want("table3")) {
-            let f = infrastructure::run_with(scale.grid_reps, &opts).map_err(err)?;
-            if !stream && want("table3") {
-                output.emit("table3.txt", &f.render_table3()).map_err(err)?;
-            }
-            if want("fig6") {
-                output.emit("fig6.txt", &f.render_fig6()).map_err(err)?;
-            }
-        }
-    }
-    let slopes = |mode, hz| {
-        if stream {
-            duration::run_slopes_streaming_with(
-                mode,
-                &duration::DEFAULT_SIZES,
-                scale.duration_reps,
-                hz,
-                &opts,
-            )
-        } else {
-            duration::run_slopes_with(mode, &duration::DEFAULT_SIZES, scale.duration_reps, hz, &opts)
-        }
+    let mut sink = ConsoleSink::new(out_dir.as_deref()).map_err(|e| e.to_string())?;
+    let mode = if stream {
+        EngineMode::Streaming
+    } else {
+        EngineMode::Batch
     };
-    if want("fig7") {
-        let hz = if no_timer { 0 } else { 250 };
-        let f = slopes(CountingMode::UserKernel, hz).map_err(err)?;
-        output.emit("fig7.txt", &f.render()).map_err(err)?;
-    }
-    if want("fig8") {
-        let f = slopes(CountingMode::User, 250).map_err(err)?;
-        output.emit("fig8.txt", &f.render()).map_err(err)?;
-    }
-    if want("fig9") {
-        let text = if stream {
-            duration::run_fig9_streaming_with(core2(), &duration::FIG9_SIZES, scale.fig9_reps, &opts)
-                .map_err(err)?
-                .render()
-        } else {
-            duration::run_fig9_with(core2(), &duration::FIG9_SIZES, scale.fig9_reps, &opts)
-                .map_err(err)?
-                .render()
-        };
-        output.emit("fig9.txt", &text).map_err(err)?;
-    }
-    if want("fig10") {
-        let f = cycles::run_fig10_with(&cycles::CYCLE_SIZES, scale.cycle_reps, &opts).map_err(err)?;
-        output.emit("fig10.txt", &f.render()).map_err(err)?;
-    }
-    if want("fig11") {
-        let f = cycles::run_fig11_with(&cycles::CYCLE_SIZES, scale.cycle_reps, &opts).map_err(err)?;
-        let mut text = f.render();
-        if single_build {
-            // Ablation: restrict to one build — the groups collapse.
-            let one: Vec<_> = f
-                .group_2i
-                .iter()
-                .chain(f.group_3i.iter())
-                .filter(|p| {
-                    p.pattern == counterlab::pattern::Pattern::StartRead
-                        && p.opt_level == counterlab::config::OptLevel::O2
-                })
-                .collect();
-            let cpis: Vec<f64> = one.iter().map(|p| p.cpi()).collect();
-            let lo = cpis.iter().cloned().fold(f64::INFINITY, f64::min);
-            let hi = cpis.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-            text.push_str(&format!(
-                "\nAblation (single build start-read/-O2): cycles/iteration \
-                 range {lo:.3}..{hi:.3} — one class, no bimodality.\n"
-            ));
+
+    for exp in registry() {
+        if !want(exp.id()) {
+            continue;
         }
-        output.emit("fig11.txt", &text).map_err(err)?;
-    }
-    if want("fig12") {
-        let f = if stream {
-            cycles::run_fig12_streaming_with(&cycles::CYCLE_SIZES, scale.cycle_reps, &opts)
-                .map_err(err)?
-        } else {
-            cycles::run_fig12_with(&cycles::CYCLE_SIZES, scale.cycle_reps, &opts).map_err(err)?
-        };
-        output.emit("fig12.txt", &f.render()).map_err(err)?;
-    }
-    if want("anova") {
-        let f = if stream {
-            anova::run_streaming_with(scale.grid_reps.max(3), &opts).map_err(err)?
-        } else {
-            anova::run_with(scale.grid_reps.max(3), &opts).map_err(err)?
-        };
-        output.emit("anova.txt", &f.render()).map_err(err)?;
-    }
-    if want("ext-cache") {
-        let text = if stream {
-            cache::run_streaming_with(k8(), 1_600_000, scale.grid_reps.max(4), &opts)
-                .map_err(err)?
-                .render()
-        } else {
-            cache::run_with(k8(), 1_600_000, scale.grid_reps.max(4), &opts)
-                .map_err(err)?
-                .render()
-        };
-        output.emit("ext-cache.txt", &text).map_err(err)?;
-    }
-    if want("ext-multiplex") {
-        let f = multiplexing::run(8, 250_000).map_err(err)?;
-        output.emit("ext-multiplex.txt", &f.render()).map_err(err)?;
-    }
-    if want("csv") {
-        let grid = counterlab::grid::Grid::full_null(scale.grid_reps);
-        // Progress on stderr (stdout stays parseable); deciles only, so
-        // the report is short however many records the scale implies.
-        let last_decile = AtomicUsize::new(0);
-        let progress = |done: usize, total: usize| {
-            let decile = done * 10 / total.max(1);
-            if last_decile.fetch_max(decile, Ordering::Relaxed) < decile {
-                eprintln!("csv: {}% ({done}/{total})", decile * 10);
+        let mut ctx = ExperimentCtx::new(scale)
+            .with_opts(RunOptions::with_jobs(jobs))
+            .with_mode(mode);
+        for ablation in exp.capabilities().ablations {
+            if ablations.contains(&ablation.flag) {
+                ctx = ctx.with_ablation(ablation.flag);
             }
-        };
-        let count = if stream {
-            // Streaming path: lines go straight to the file in index
-            // order — byte-identical to the batch serialization, O(1)
-            // memory in the record count. The sink cannot return an
-            // error, so the first I/O failure is stashed and reported
-            // after the run like any other CLI error.
-            use std::io::Write;
-            let mut writer = output.stream_only("full_grid.csv").map_err(err)?;
-            let mut io_error: Option<std::io::Error> = None;
-            let written = grid
-                .run_csv(&opts.with_progress(&progress), |line| {
-                    if io_error.is_none() {
-                        if let Some(w) = &mut writer {
-                            if let Err(e) = w.write_all(line.as_bytes()) {
-                                io_error = Some(e);
-                            }
-                        }
-                    }
-                })
-                .map_err(err)?;
-            if io_error.is_none() {
-                if let Some(w) = &mut writer {
-                    if let Err(e) = w.flush() {
-                        io_error = Some(e);
-                    }
-                }
+        }
+        let report = exp.run(&ctx).map_err(err)?;
+        for emitted in report.emit(&mut sink).map_err(err)? {
+            if let Some(rows) = emitted.rows {
+                println!("wrote {} ({rows} records)", emitted.name);
             }
-            if let Some(e) = io_error {
-                return Err(format!("writing full_grid.csv: {e}"));
-            }
-            written
-        } else {
-            let records = grid
-                .run_with(&opts.with_progress(&progress))
-                .map_err(err)?;
-            output
-                .write_only("full_grid.csv", &report::records_to_csv(&records))
-                .map_err(err)?;
-            records.len()
-        };
-        println!("wrote full_grid.csv ({count} records)");
+        }
     }
     Ok(())
 }
@@ -330,15 +158,89 @@ fn err(e: impl std::fmt::Display) -> String {
     e.to_string()
 }
 
-fn core2() -> counterlab::cpu::uarch::Processor {
-    counterlab::cpu::uarch::Processor::Core2Duo
+/// The error for an unrecognized command, with near-miss suggestions
+/// from the registry.
+fn unknown_command(cmd: &str) -> String {
+    let near = suggest(cmd);
+    if near.is_empty() {
+        format!("unknown command {cmd:?}; see --help")
+    } else {
+        format!(
+            "unknown command {cmd:?}; did you mean {}? (see --help)",
+            near.join(", ")
+        )
+    }
 }
 
-fn k8() -> counterlab::cpu::uarch::Processor {
-    counterlab::cpu::uarch::Processor::AthlonK8
+/// The `repro list` table: one row per registered experiment.
+fn render_list() -> String {
+    let rows: Vec<Vec<String>> = registry()
+        .iter()
+        .map(|exp| {
+            let caps = exp.capabilities();
+            vec![
+                exp.id().to_string(),
+                exp.title().to_string(),
+                if caps.streaming { "yes" } else { "-" }.to_string(),
+                if caps.ablations.is_empty() {
+                    "-".to_string()
+                } else {
+                    caps.ablations
+                        .iter()
+                        .map(|a| a.flag)
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                },
+            ]
+        })
+        .collect();
+    format!(
+        "Registered experiments ({}):\n\n{}",
+        registry().len(),
+        report::table(&["id", "title", "--stream", "ablations"], &rows)
+    )
 }
 
-const HELP: &str = "\
+/// Usage text; the command and ablation sections are derived from the
+/// registry so they cannot drift from the dispatch.
+fn help() -> String {
+    let mut commands = String::new();
+    for exp in registry() {
+        commands.push_str(&format!("  {:<13} {}\n", exp.id(), exp.title()));
+    }
+    commands.push_str(&format!("  {ALL:<13} every experiment above\n"));
+    commands.push_str(&format!("  {LIST:<13} print the experiment registry\n"));
+
+    let mut ablations = String::new();
+    for exp in registry() {
+        for a in exp.capabilities().ablations {
+            ablations.push_str(&format!("  {} {:<15} {}\n", exp.id(), a.flag, a.effect));
+        }
+    }
+
+    // The streaming-eligible ids, wrapped to the options column.
+    let indent = " ".repeat(32);
+    let mut streaming = String::new();
+    let mut line = String::from("Applies to");
+    for id in registry()
+        .iter()
+        .filter(|e| e.capabilities().streaming)
+        .map(|e| e.id())
+    {
+        if line.len() + id.len() + 1 > 46 {
+            streaming.push_str(&line);
+            streaming.push('\n');
+            streaming.push_str(&indent);
+            line = String::new();
+        } else {
+            line.push(' ');
+        }
+        line.push_str(id);
+    }
+    streaming.push_str(&line);
+
+    format!(
+        "\
 repro — regenerate the tables and figures of
 'Accuracy of Performance Counter Measurements' (ISPASS 2009)
 
@@ -357,68 +259,62 @@ OPTIONS:
                                 csv output is byte-identical; figure
                                 summaries match the batch engine (P2
                                 quartiles beyond the exact window).
-                                Applies to fig1 table3 fig7 fig8 fig9
-                                fig12 anova ext-cache csv; other commands
-                                run batch as usual.
+                                {streaming};
+                                other commands run batch as usual.
 
 COMMANDS:
-  table1 table2 table3          the paper's tables
-  fig1 fig3 fig4 fig5 fig6      fixed-cost error figures
-  fig7 fig8 fig9                duration-dependent error figures
-  fig10 fig11 fig12             cycle-count figures
-  anova                         the Section 4.3 analysis of variance
-  ext-cache                     extension: d-cache miss accuracy (Korn-style)
-  ext-multiplex                 extension: multiplexed counting accuracy
-  csv                           dump the full null grid as CSV
-  all                           everything above
-
+{commands}
 ABLATIONS (each flag requires its target command):
-  fig7 --no-timer               disable the timer interrupt (slopes -> 0)
-  fig11 --single-build          restrict to one build (bimodality collapses)
-";
+{ablations}"
+    )
+}
 
 #[cfg(test)]
 mod tests {
-    use super::{ABLATIONS, KNOWN_COMMANDS};
+    use super::*;
 
-    /// The dispatch arms, the HELP text and KNOWN_COMMANDS are three
-    /// hand-maintained copies of the command list; scan this file's own
-    /// source so drift in any direction fails the build's test run.
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// The help text is generated from the registry, so every id, every
+    /// ablation flag and the pseudo-commands are documented by
+    /// construction — verified here against the live registry.
     #[test]
-    fn known_commands_match_dispatch_and_help() {
-        let source = include_str!("repro.rs");
-        let dispatched: Vec<&str> = source
-            .match_indices("want(\"")
-            .map(|(at, _)| {
-                let rest = &source[at + 6..];
-                &rest[..rest.find('"').expect("unterminated want literal")]
-            })
-            .collect();
-        assert!(!dispatched.is_empty());
-        for cmd in &dispatched {
+    fn help_documents_the_whole_registry() {
+        let help = help();
+        for exp in registry() {
             assert!(
-                KNOWN_COMMANDS.contains(cmd),
-                "dispatch arm for {cmd:?} missing from KNOWN_COMMANDS",
+                help.split_whitespace().any(|word| word == exp.id()),
+                "{} missing from --help",
+                exp.id()
             );
-        }
-        for cmd in KNOWN_COMMANDS {
-            if *cmd != "all" {
+            for a in exp.capabilities().ablations {
                 assert!(
-                    dispatched.contains(cmd),
-                    "KNOWN_COMMANDS entry {cmd:?} has no dispatch arm",
+                    help.split_whitespace().any(|word| word == a.flag),
+                    "{} missing from --help",
+                    a.flag
                 );
             }
-            // Whole-word match: `fig1` must not pass on the strength of
-            // `fig10` appearing in the help text.
+        }
+        for word in [ALL, LIST, "--stream", "--jobs", "--out", "--scale"] {
             assert!(
-                super::HELP.split_whitespace().any(|word| word == *cmd),
-                "KNOWN_COMMANDS entry {cmd:?} not documented in --help",
+                help.split_whitespace().any(|w| w == word),
+                "{word} missing from --help"
             );
         }
     }
 
-    fn args(list: &[&str]) -> Vec<String> {
-        list.iter().map(|s| s.to_string()).collect()
+    #[test]
+    fn list_renders_every_id() {
+        let listing = render_list();
+        for exp in registry() {
+            assert!(listing.contains(exp.id()), "{} missing", exp.id());
+        }
+        assert!(listing.contains("--no-timer"));
+        assert!(listing.contains("--single-build"));
+        // `repro list` is accepted as a command.
+        super::run(&args(&["list"])).unwrap();
     }
 
     /// An ablation flag without its target command is a usage error, not
@@ -432,6 +328,19 @@ mod tests {
         assert!(e.contains("--single-build") && e.contains("fig11"), "{e}");
         let e = super::run(&args(&["table1", "--single-build"])).unwrap_err();
         assert!(e.contains("fig11"), "{e}");
+    }
+
+    /// Unknown commands suggest near-miss ids from the registry.
+    #[test]
+    fn unknown_command_suggests_near_ids() {
+        let e = super::run(&args(&["fig2"])).unwrap_err();
+        assert!(e.contains("unknown command"), "{e}");
+        assert!(e.contains("did you mean"), "{e}");
+        assert!(e.contains("fig1"), "{e}");
+        // Nothing near: no suggestion clause.
+        let e = super::run(&args(&["warp-field"])).unwrap_err();
+        assert!(!e.contains("did you mean"), "{e}");
+        assert!(e.contains("see --help"), "{e}");
     }
 
     /// The acceptance-criterion identity at the CLI level: the csv
@@ -467,59 +376,6 @@ mod tests {
             let mut a = args(bad);
             a.push("table1".into());
             assert!(super::run(&a).is_err(), "{bad:?} should be rejected");
-        }
-    }
-
-    /// Same drift guard for the ablation list: every flag in ABLATIONS
-    /// must have a parse arm and help documentation, its target must be a
-    /// dispatchable command, and every `--x`-style ablation flag parsed in
-    /// this file must be listed in ABLATIONS (so a new ablation cannot be
-    /// added without its target-command validation).
-    #[test]
-    fn ablations_match_parse_help_and_commands() {
-        let source = include_str!("repro.rs");
-        assert!(!ABLATIONS.is_empty());
-        for &(flag, target) in ABLATIONS {
-            assert!(
-                source.contains(&format!("{flag:?} => ")),
-                "ablation {flag:?} has no parse arm",
-            );
-            assert!(
-                super::HELP.split_whitespace().any(|word| word == flag),
-                "ablation {flag:?} not documented in --help",
-            );
-            assert!(
-                KNOWN_COMMANDS.contains(&target),
-                "ablation {flag:?} targets unknown command {target:?}",
-            );
-            assert!(
-                target != "all",
-                "an ablation must target one concrete command",
-            );
-        }
-        // Reverse direction: the parse arms for boolean flags (those with
-        // a `=> name = true` body) must all be declared either as
-        // ablations or as documented global flags.
-        for line in source.lines() {
-            let Some((arm, body)) = line.trim().split_once(" => ") else {
-                continue;
-            };
-            if !(arm.starts_with("\"--") && body.ends_with("= true,")) {
-                continue;
-            }
-            let flag = arm.trim_matches('"');
-            assert!(
-                ABLATIONS.iter().any(|&(f, _)| f == flag)
-                    || super::GLOBAL_FLAGS.contains(&flag),
-                "boolean flag {flag:?} parsed but missing from ABLATIONS/GLOBAL_FLAGS",
-            );
-        }
-        // Every global flag must be documented in --help.
-        for flag in super::GLOBAL_FLAGS {
-            assert!(
-                super::HELP.split_whitespace().any(|word| word == *flag),
-                "global flag {flag:?} not documented in --help",
-            );
         }
     }
 }

@@ -6,162 +6,13 @@
 //! * The **`repro` binary** (`cargo run -p counterlab-bench --bin repro --
 //!   all`) regenerates every table and figure of the paper as text (and
 //!   CSV where applicable), writing to stdout and optionally a directory.
+//!   It is a data-driven loop over [`counterlab::experiment::registry`];
+//!   `repro list` prints the catalog.
 //! * The **Criterion benches** (`cargo bench`) time each experiment and
 //!   the underlying simulator.
 //!
-//! This library crate hosts the small amount of logic shared between the
-//! two: repetition presets and output management.
+//! Everything the two share lives in [`counterlab::experiment`]: the
+//! repetition presets ([`Scale`], re-exported here for compatibility) and
+//! the artifact sinks that replaced this crate's old `Output` type.
 
-use std::fs;
-use std::io;
-use std::path::{Path, PathBuf};
-
-/// Repetition presets for experiment runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Scale {
-    /// Repetitions per cell for null-benchmark grids.
-    pub grid_reps: usize,
-    /// Repetitions per loop size for duration sweeps.
-    pub duration_reps: usize,
-    /// Repetitions per size for Figure 9 (the paper uses thousands).
-    pub fig9_reps: usize,
-    /// Repetitions per (pattern, opt, size) for cycle scatters.
-    pub cycle_reps: usize,
-}
-
-impl Scale {
-    /// Quick smoke-test scale (seconds).
-    pub fn quick() -> Self {
-        Scale {
-            grid_reps: 2,
-            duration_reps: 4,
-            fig9_reps: 40,
-            cycle_reps: 1,
-        }
-    }
-
-    /// The default reproduction scale: large enough for stable medians
-    /// and slopes.
-    pub fn standard() -> Self {
-        Scale {
-            grid_reps: 10,
-            duration_reps: 40,
-            fig9_reps: 200,
-            cycle_reps: 2,
-        }
-    }
-
-    /// Paper scale: comparable measurement counts to the original study
-    /// (Figure 1 pools >170000 measurements).
-    pub fn paper() -> Self {
-        Scale {
-            grid_reps: 55,
-            duration_reps: 120,
-            fig9_reps: 2_000,
-            cycle_reps: 4,
-        }
-    }
-
-    /// Parses a scale name.
-    pub fn from_name(name: &str) -> Option<Self> {
-        match name {
-            "quick" => Some(Self::quick()),
-            "standard" => Some(Self::standard()),
-            "paper" => Some(Self::paper()),
-            _ => None,
-        }
-    }
-}
-
-/// Output sink: prints to stdout and optionally mirrors into a directory.
-#[derive(Debug)]
-pub struct Output {
-    dir: Option<PathBuf>,
-}
-
-impl Output {
-    /// Creates an output sink; `dir = None` prints only.
-    ///
-    /// # Errors
-    ///
-    /// Returns an I/O error when the directory cannot be created.
-    pub fn new(dir: Option<&Path>) -> std::io::Result<Self> {
-        if let Some(d) = dir {
-            fs::create_dir_all(d)?;
-        }
-        Ok(Output {
-            dir: dir.map(Path::to_path_buf),
-        })
-    }
-
-    /// Emits one artifact: prints it and writes `<name>` into the output
-    /// directory when one is configured.
-    ///
-    /// # Errors
-    ///
-    /// Returns an I/O error when the file cannot be written.
-    pub fn emit(&self, name: &str, content: &str) -> std::io::Result<()> {
-        println!("{content}");
-        if let Some(dir) = &self.dir {
-            fs::write(dir.join(name), content)?;
-        }
-        Ok(())
-    }
-
-    /// Writes a file without printing (for CSV payloads).
-    ///
-    /// # Errors
-    ///
-    /// Returns an I/O error when the file cannot be written.
-    pub fn write_only(&self, name: &str, content: &str) -> std::io::Result<()> {
-        if let Some(dir) = &self.dir {
-            fs::write(dir.join(name), content)?;
-        }
-        Ok(())
-    }
-
-    /// Opens `<name>` for incremental writing (the streaming-CSV path:
-    /// lines land on disk as they are produced instead of buffering the
-    /// whole payload). Returns `None` when no output directory is
-    /// configured.
-    ///
-    /// # Errors
-    ///
-    /// Returns an I/O error when the file cannot be created.
-    pub fn stream_only(&self, name: &str) -> std::io::Result<Option<io::BufWriter<fs::File>>> {
-        match &self.dir {
-            Some(dir) => Ok(Some(io::BufWriter::new(fs::File::create(dir.join(name))?))),
-            None => Ok(None),
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn scale_names() {
-        assert!(Scale::from_name("quick").is_some());
-        assert!(Scale::from_name("standard").is_some());
-        assert!(Scale::from_name("paper").is_some());
-        assert!(Scale::from_name("warp").is_none());
-        assert!(Scale::paper().grid_reps > Scale::standard().grid_reps);
-    }
-
-    #[test]
-    fn output_without_dir() {
-        let out = Output::new(None).unwrap();
-        out.emit("x.txt", "hello").unwrap();
-        out.write_only("y.csv", "a,b").unwrap();
-    }
-
-    #[test]
-    fn output_with_dir() {
-        let dir = std::env::temp_dir().join("counterlab-bench-test");
-        let out = Output::new(Some(&dir)).unwrap();
-        out.emit("x.txt", "hello").unwrap();
-        assert_eq!(fs::read_to_string(dir.join("x.txt")).unwrap(), "hello");
-        let _ = fs::remove_dir_all(&dir);
-    }
-}
+pub use counterlab::experiment::Scale;

@@ -14,6 +14,7 @@ use counterlab_stats::stream::Welford;
 use crate::benchmark::Benchmark;
 use crate::config::OptLevel;
 use crate::exec::RunOptions;
+use crate::experiment::{Capabilities, EngineMode, Experiment, ExperimentCtx, Report};
 use crate::grid::Grid;
 use crate::interface::{CountingMode, Interface};
 use crate::pattern::Pattern;
@@ -37,14 +38,39 @@ pub const FACTORS: [&str; 5] = [
     "registers",
 ];
 
-/// Runs the §4.3 ANOVA on the null benchmark's user+kernel instruction
-/// error with `reps` replicate runs per cell.
+/// Registry driver for the §4.3 analysis of variance.
 ///
-/// # Errors
-///
-/// Propagates grid and ANOVA failures.
-pub fn run(reps: usize) -> Result<AnovaExperiment> {
-    run_with(reps, &RunOptions::default())
+/// The F test needs within-cell replication, so this driver floors the
+/// scale's grid repetitions at three — the invariant lives here, with
+/// the experiment, not in the CLI.
+pub struct AnovaFigure;
+
+impl AnovaFigure {
+    /// Minimum replicate runs per cell for a stable five-factor F test.
+    pub const MIN_REPS: usize = 3;
+}
+
+impl Experiment for AnovaFigure {
+    fn id(&self) -> &'static str {
+        "anova"
+    }
+
+    fn title(&self) -> &'static str {
+        "§4.3: n-way ANOVA of the error factors"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::STREAMING
+    }
+
+    fn run(&self, ctx: &ExperimentCtx<'_>) -> Result<Report> {
+        let reps = ctx.scale.grid_reps.max(Self::MIN_REPS);
+        let exp = match self.engine(ctx) {
+            EngineMode::Streaming => run_streaming_with(reps, &ctx.opts)?,
+            EngineMode::Batch => run_with(reps, &ctx.opts)?,
+        };
+        Ok(Report::text("anova.txt", exp.render()))
+    }
 }
 
 /// The §4.3 grid: null benchmark, all five factors swept, user+kernel
@@ -97,7 +123,8 @@ fn levels_of(config: &crate::config::MeasurementConfig) -> [usize; 5] {
     ]
 }
 
-/// [`run`] with explicit execution-engine options.
+/// Runs the §4.3 ANOVA on the null benchmark's user+kernel instruction
+/// error with `reps` replicate runs per cell.
 ///
 /// # Errors
 ///
@@ -115,7 +142,7 @@ pub fn run_with(reps: usize, opts: &RunOptions<'_>) -> Result<AnovaExperiment> {
     })
 }
 
-/// [`run`] on the streaming engine: each grid cell folds its repetitions
+/// [`run_with`] on the streaming engine: each grid cell folds its repetitions
 /// into one [`Welford`] accumulator, and the cells feed
 /// [`Anova::add_group`] in enumeration order — no record vector is ever
 /// materialized, and the result is deterministic at any worker count (the
@@ -183,7 +210,7 @@ mod tests {
 
     #[test]
     fn all_factors_but_opt_level_significant() {
-        let exp = run(3).unwrap();
+        let exp = run_with(3, &RunOptions::default()).unwrap();
         for name in ["processor", "infrastructure", "pattern", "registers"] {
             let row = exp.table.row(name).unwrap();
             assert!(
@@ -203,7 +230,7 @@ mod tests {
 
     #[test]
     fn render_mentions_verdict() {
-        let exp = run(2).unwrap();
+        let exp = run_with(2, &RunOptions::default()).unwrap();
         let text = exp.render();
         assert!(text.contains("ANOVA"));
         assert!(text.contains("REPRODUCED"));
@@ -211,7 +238,7 @@ mod tests {
 
     #[test]
     fn streaming_matches_batch_table() {
-        let batch = run(2).unwrap();
+        let batch = run_with(2, &RunOptions::default()).unwrap();
         let stream = run_streaming_with(2, &RunOptions::default()).unwrap();
         assert_eq!(stream.measurements, batch.measurements);
         assert_eq!(stream.table.n(), batch.table.n());

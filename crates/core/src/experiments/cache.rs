@@ -17,6 +17,7 @@ use counterlab_stats::stream::SummaryAccumulator;
 use crate::benchmark::Benchmark;
 use crate::config::MeasurementConfig;
 use crate::exec::{self, RunOptions};
+use crate::experiment::{Capabilities, EngineMode, Experiment, ExperimentCtx, Report};
 use crate::interface::{CountingMode, Interface};
 use crate::measure::run_measurement;
 use crate::pattern::Pattern;
@@ -48,17 +49,50 @@ pub struct CacheFigure {
     pub expected: u64,
 }
 
-/// Runs the experiment: `reps` array-walk measurements of
-/// `PAPI_L1_DCM`-equivalent counts per interface on the given processor.
-///
-/// # Errors
-///
-/// Propagates measurement and statistics failures.
-pub fn run(processor: Processor, iters: u64, reps: usize) -> Result<CacheFigure> {
-    run_with(processor, iters, reps, &RunOptions::default())
+/// Registry driver for the d-cache extension. The Korn-style array walk
+/// runs on the Athlon K8 at [`ExtCache::ITERS`] iterations, and the
+/// quartiles need a few replicates, so the driver floors the scale's
+/// grid repetitions at [`ExtCache::MIN_REPS`] — experiment invariants
+/// live here, not in the CLI.
+pub struct ExtCache;
+
+impl ExtCache {
+    /// Array-walk iterations (100k true misses at the 16-element line
+    /// period).
+    pub const ITERS: u64 = 1_600_000;
+    /// Minimum replicates per interface for stable quartiles.
+    pub const MIN_REPS: usize = 4;
 }
 
-/// [`run`] with explicit execution-engine options.
+impl Experiment for ExtCache {
+    fn id(&self) -> &'static str {
+        "ext-cache"
+    }
+
+    fn title(&self) -> &'static str {
+        "extension: d-cache miss accuracy (Korn-style array walk, K8)"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::STREAMING
+    }
+
+    fn run(&self, ctx: &ExperimentCtx<'_>) -> Result<Report> {
+        let reps = ctx.scale.grid_reps.max(Self::MIN_REPS);
+        let text = match self.engine(ctx) {
+            EngineMode::Streaming => {
+                run_streaming_with(Processor::AthlonK8, Self::ITERS, reps, &ctx.opts)?.render()
+            }
+            EngineMode::Batch => {
+                run_with(Processor::AthlonK8, Self::ITERS, reps, &ctx.opts)?.render()
+            }
+        };
+        Ok(Report::text("ext-cache.txt", text))
+    }
+}
+
+/// Runs the experiment: `reps` array-walk measurements of
+/// `PAPI_L1_DCM`-equivalent counts per interface on the given processor.
 ///
 /// # Errors
 ///
@@ -122,7 +156,7 @@ pub struct StreamingCacheFigure {
     pub expected: u64,
 }
 
-/// [`run`] on the streaming engine: the same sweep (same seeds) folding
+/// [`run_with`] on the streaming engine: the same sweep (same seeds) folding
 /// each excess-miss observation into a per-interface
 /// [`SummaryAccumulator`] on the worker that measured it.
 ///
@@ -257,7 +291,7 @@ mod tests {
 
     #[test]
     fn pollution_positive_and_small() {
-        let fig = run(Processor::AthlonK8, 160_000, 4).unwrap();
+        let fig = run_with(Processor::AthlonK8, 160_000, 4, &RunOptions::default()).unwrap();
         for row in &fig.rows {
             let med = row.boxplot.median();
             // The infrastructure's own loads add misses…
@@ -276,7 +310,7 @@ mod tests {
     fn syscall_interfaces_pollute_more() {
         // perfmon's kernel read path executes far more loads than
         // perfctr's user-mode read.
-        let fig = run(Processor::AthlonK8, 160_000, 4).unwrap();
+        let fig = run_with(Processor::AthlonK8, 160_000, 4, &RunOptions::default()).unwrap();
         let pm = fig.row(Interface::Pm).unwrap().boxplot.median();
         let pc = fig.row(Interface::Pc).unwrap().boxplot.median();
         assert!(pm > pc, "pm {pm} should exceed pc {pc}");
@@ -284,7 +318,7 @@ mod tests {
 
     #[test]
     fn renders() {
-        let fig = run(Processor::Core2Duo, 32_000, 2).unwrap();
+        let fig = run_with(Processor::Core2Duo, 32_000, 2, &RunOptions::default()).unwrap();
         let text = fig.render();
         assert!(text.contains("d-cache"));
         assert!(text.contains("pm"));
@@ -292,7 +326,7 @@ mod tests {
 
     #[test]
     fn streaming_matches_batch_medians() {
-        let batch = run(Processor::AthlonK8, 160_000, 6).unwrap();
+        let batch = run_with(Processor::AthlonK8, 160_000, 6, &RunOptions::default()).unwrap();
         let stream =
             run_streaming_with(Processor::AthlonK8, 160_000, 6, &RunOptions::default()).unwrap();
         assert_eq!(stream.expected, batch.expected);

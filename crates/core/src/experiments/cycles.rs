@@ -17,6 +17,9 @@ use counterlab_stats::stream::Covariance;
 use crate::benchmark::Benchmark;
 use crate::config::{MeasurementConfig, OptLevel};
 use crate::exec::{self, RunOptions};
+use crate::experiment::{
+    Ablation, Capabilities, EngineMode, Experiment, ExperimentCtx, Report,
+};
 use crate::interface::{CountingMode, Interface};
 use crate::measure::run_measurement;
 use crate::pattern::Pattern;
@@ -81,18 +84,93 @@ pub struct CycleFigure {
     pub panels: Vec<CyclePanel>,
 }
 
-/// Runs the Figure 10 experiment: user+kernel cycle counts for the loop
-/// benchmark at the [`CYCLE_SIZES`] iteration counts, across all
-/// (pattern × optimization level) builds, `reps` runs each.
-///
-/// # Errors
-///
-/// Propagates measurement failures.
-pub fn run_fig10(sizes: &[u64], reps: usize) -> Result<CycleFigure> {
-    run_fig10_with(sizes, reps, &RunOptions::default())
+/// Registry driver for Figure 10.
+pub struct Fig10;
+
+impl Experiment for Fig10 {
+    fn id(&self) -> &'static str {
+        "fig10"
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 10: cycle counts scatter by loop size"
+    }
+
+    fn run(&self, ctx: &ExperimentCtx<'_>) -> Result<Report> {
+        let fig = run_fig10_with(&CYCLE_SIZES, ctx.scale.cycle_reps, &ctx.opts)?;
+        Ok(Report::text("fig10.txt", fig.render()))
+    }
 }
 
-/// [`run_fig10`] with explicit execution-engine options.
+/// Registry driver for Figure 11. Owns the `--single-build` ablation:
+/// restricted to one (pattern, -O) build the bimodality collapses,
+/// confirming code placement as the cause.
+pub struct Fig11Experiment;
+
+/// The `--single-build` ablation flag.
+pub const SINGLE_BUILD: Ablation = Ablation {
+    flag: "--single-build",
+    effect: "restrict to one build (bimodality collapses)",
+};
+
+impl Experiment for Fig11Experiment {
+    fn id(&self) -> &'static str {
+        "fig11"
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 11: the two cycles/iteration groups on K8/pm"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            streaming: false,
+            ablations: &[SINGLE_BUILD],
+        }
+    }
+
+    fn run(&self, ctx: &ExperimentCtx<'_>) -> Result<Report> {
+        let fig = run_fig11_with(&CYCLE_SIZES, ctx.scale.cycle_reps, &ctx.opts)?;
+        let mut text = fig.render();
+        if ctx.ablated(SINGLE_BUILD.flag) {
+            text.push_str(&fig.single_build_note());
+        }
+        Ok(Report::text("fig11.txt", text))
+    }
+}
+
+/// Registry driver for Figure 12.
+pub struct Fig12Experiment;
+
+impl Experiment for Fig12Experiment {
+    fn id(&self) -> &'static str {
+        "fig12"
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 12: one clean line per (pattern, -O) build on K8/pm"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::STREAMING
+    }
+
+    fn run(&self, ctx: &ExperimentCtx<'_>) -> Result<Report> {
+        let reps = ctx.scale.cycle_reps;
+        let fig = match self.engine(ctx) {
+            EngineMode::Streaming => {
+                run_fig12_streaming_with(&CYCLE_SIZES, reps, &ctx.opts)?
+            }
+            EngineMode::Batch => run_fig12_with(&CYCLE_SIZES, reps, &ctx.opts)?,
+        };
+        Ok(Report::text("fig12.txt", fig.render()))
+    }
+}
+
+/// Runs the Figure 10 experiment: user+kernel cycle counts for the loop
+/// benchmark at the given iteration counts (the CLI uses
+/// [`CYCLE_SIZES`]), across all (pattern × optimization level) builds,
+/// `reps` runs each.
 ///
 /// # Errors
 ///
@@ -107,23 +185,9 @@ pub fn run_fig10_with(sizes: &[u64], reps: usize, opts: &RunOptions<'_>) -> Resu
     Ok(CycleFigure { panels })
 }
 
-/// Runs one (interface, processor) panel (Figure 11 uses the K8/pm one).
-///
-/// # Errors
-///
-/// Propagates measurement failures.
-pub fn panel(
-    interface: Interface,
-    processor: Processor,
-    sizes: &[u64],
-    reps: usize,
-) -> Result<CyclePanel> {
-    panel_with(interface, processor, sizes, reps, &RunOptions::default())
-}
-
-/// [`panel`] with explicit execution-engine options: the
-/// (pattern × optimization level × size × rep) sweep runs through the
-/// engine in enumeration order.
+/// Runs one (interface, processor) panel (Figure 11 uses the K8/pm
+/// one): the (pattern × optimization level × size × rep) sweep runs
+/// through the engine in enumeration order.
 ///
 /// # Errors
 ///
@@ -214,15 +278,6 @@ pub struct Fig11 {
 /// # Errors
 ///
 /// Propagates measurement failures.
-pub fn run_fig11(sizes: &[u64], reps: usize) -> Result<Fig11> {
-    run_fig11_with(sizes, reps, &RunOptions::default())
-}
-
-/// [`run_fig11`] with explicit execution-engine options.
-///
-/// # Errors
-///
-/// Propagates measurement failures.
 pub fn run_fig11_with(sizes: &[u64], reps: usize, opts: &RunOptions<'_>) -> Result<Fig11> {
     let p = panel_with(Interface::Pm, Processor::AthlonK8, sizes, reps, opts)?;
     let (group_2i, group_3i): (Vec<CyclePoint>, Vec<CyclePoint>) =
@@ -248,6 +303,25 @@ impl Fig11 {
             self.group_2i.len(),
             self.group_3i.len(),
             self.bounds_hold()
+        )
+    }
+
+    /// The `--single-build` ablation paragraph: restricted to one
+    /// (pattern, -O) build the cycles/iteration range collapses to one
+    /// class.
+    pub fn single_build_note(&self) -> String {
+        let cpis: Vec<f64> = self
+            .group_2i
+            .iter()
+            .chain(self.group_3i.iter())
+            .filter(|p| p.pattern == Pattern::StartRead && p.opt_level == OptLevel::O2)
+            .map(CyclePoint::cpi)
+            .collect();
+        let lo = cpis.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = cpis.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        format!(
+            "\nAblation (single build start-read/-O2): cycles/iteration \
+             range {lo:.3}..{hi:.3} — one class, no bimodality.\n"
         )
     }
 }
@@ -280,15 +354,6 @@ pub struct Fig12 {
 /// # Errors
 ///
 /// Propagates measurement and regression failures.
-pub fn run_fig12(sizes: &[u64], reps: usize) -> Result<Fig12> {
-    run_fig12_with(sizes, reps, &RunOptions::default())
-}
-
-/// [`run_fig12`] with explicit execution-engine options.
-///
-/// # Errors
-///
-/// Propagates measurement and regression failures.
 pub fn run_fig12_with(sizes: &[u64], reps: usize, opts: &RunOptions<'_>) -> Result<Fig12> {
     let p = panel_with(Interface::Pm, Processor::AthlonK8, sizes, reps, opts)?;
     let mut panels = Vec::new();
@@ -316,7 +381,7 @@ pub fn run_fig12_with(sizes: &[u64], reps: usize, opts: &RunOptions<'_>) -> Resu
     Ok(Fig12 { panels })
 }
 
-/// [`run_fig12`] on the streaming engine: the same K8/`pm` sweep (same
+/// [`run_fig12_with`] on the streaming engine: the same K8/`pm` sweep (same
 /// seeds, same simulated runs) folding each point into a per-build
 /// [`Covariance`] on the worker that measured it, instead of collecting a
 /// point vector. Produces the same [`Fig12`] type; slopes and R² agree
@@ -425,7 +490,7 @@ mod tests {
 
     #[test]
     fn fig10_pd_range_wider_than_cd() {
-        let fig = run_fig10(&SMALL_SIZES, 1).unwrap();
+        let fig = run_fig10_with(&SMALL_SIZES, 1, &RunOptions::default()).unwrap();
         let (pd_lo, pd_hi) = fig
             .panel(Interface::Pm, Processor::PentiumD)
             .unwrap()
@@ -442,7 +507,7 @@ mod tests {
 
     #[test]
     fn fig11_two_groups_with_bounds() {
-        let fig = run_fig11(&SMALL_SIZES, 1).unwrap();
+        let fig = run_fig11_with(&SMALL_SIZES, 1, &RunOptions::default()).unwrap();
         assert!(!fig.group_2i.is_empty(), "2i group empty");
         assert!(!fig.group_3i.is_empty(), "3i group empty");
         assert!(fig.bounds_hold());
@@ -450,7 +515,7 @@ mod tests {
 
     #[test]
     fn fig12_slopes_form_classes() {
-        let fig = run_fig12(&SMALL_SIZES, 1).unwrap();
+        let fig = run_fig12_with(&SMALL_SIZES, 1, &RunOptions::default()).unwrap();
         assert_eq!(fig.panels.len(), 16);
         // Each panel is an excellent linear fit (one build = one line).
         for p in &fig.panels {
@@ -474,7 +539,7 @@ mod tests {
         // “neither the optimization level nor the measurement pattern
         // determines the slope, only the combination” — verify that at
         // least one pattern has differing slopes across opt levels.
-        let fig = run_fig12(&SMALL_SIZES, 1).unwrap();
+        let fig = run_fig12_with(&SMALL_SIZES, 1, &RunOptions::default()).unwrap();
         let mut pattern_with_spread = false;
         for &pattern in &Pattern::ALL {
             let slopes: Vec<f64> = OptLevel::ALL
@@ -493,7 +558,7 @@ mod tests {
 
     #[test]
     fn streaming_fig12_matches_batch() {
-        let batch = run_fig12(&SMALL_SIZES, 2).unwrap();
+        let batch = run_fig12_with(&SMALL_SIZES, 2, &RunOptions::default()).unwrap();
         let stream =
             run_fig12_streaming_with(&SMALL_SIZES, 2, &RunOptions::default()).unwrap();
         assert_eq!(stream.panels.len(), batch.panels.len());
@@ -514,11 +579,11 @@ mod tests {
 
     #[test]
     fn renders() {
-        let fig10 = run_fig10(&[200_000, 1_000_000], 1).unwrap();
+        let fig10 = run_fig10_with(&[200_000, 1_000_000], 1, &RunOptions::default()).unwrap();
         assert!(fig10.render().contains("Figure 10"));
-        let fig11 = run_fig11(&[200_000, 1_000_000], 1).unwrap();
+        let fig11 = run_fig11_with(&[200_000, 1_000_000], 1, &RunOptions::default()).unwrap();
         assert!(fig11.render().contains("c = 2i"));
-        let fig12 = run_fig12(&[200_000, 1_000_000], 1).unwrap();
+        let fig12 = run_fig12_with(&[200_000, 1_000_000], 1, &RunOptions::default()).unwrap();
         assert!(fig12.render().contains("-O0"));
     }
 }

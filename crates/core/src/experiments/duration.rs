@@ -19,6 +19,9 @@ use counterlab_stats::stream::{Covariance, SummaryAccumulator};
 use crate::benchmark::Benchmark;
 use crate::config::MeasurementConfig;
 use crate::exec::{self, RunOptions};
+use crate::experiment::{
+    Ablation, Capabilities, EngineMode, Experiment, ExperimentCtx, Report,
+};
 use crate::interface::{CountingMode, Interface};
 use crate::measure::{run_measurement, Record};
 use crate::pattern::Pattern;
@@ -65,23 +68,125 @@ pub struct DurationFigure {
     pub cells: Vec<SlopeCell>,
 }
 
-/// Runs the loop benchmark over `sizes` with `reps` repetitions per size
-/// for every (interface × processor), fitting the error-vs-iterations
-/// regression per pair.
-///
-/// # Errors
-///
-/// Propagates measurement and regression failures.
-pub fn run_slopes(
-    mode: CountingMode,
-    sizes: &[u64],
-    reps: usize,
-    hz: u32,
-) -> Result<DurationFigure> {
-    run_slopes_with(mode, sizes, reps, hz, &RunOptions::default())
+/// The timer-interrupt rate of every duration experiment (the paper's
+/// kernels ran at HZ=250); the `--no-timer` ablation sets it to zero.
+pub const DEFAULT_HZ: u32 = 250;
+
+/// Registry driver for Figure 7 (user+kernel slopes). Owns the
+/// `--no-timer` ablation: with the timer interrupt disabled the
+/// duration-dependent error disappears, confirming its cause.
+pub struct Fig7;
+
+/// The `--no-timer` ablation flag.
+pub const NO_TIMER: Ablation = Ablation {
+    flag: "--no-timer",
+    effect: "disable the timer interrupt (slopes -> 0)",
+};
+
+impl Experiment for Fig7 {
+    fn id(&self) -> &'static str {
+        "fig7"
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 7: user+kernel error grows with benchmark duration"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            streaming: true,
+            ablations: &[NO_TIMER],
+        }
+    }
+
+    fn run(&self, ctx: &ExperimentCtx<'_>) -> Result<Report> {
+        let hz = if ctx.ablated(NO_TIMER.flag) {
+            0
+        } else {
+            DEFAULT_HZ
+        };
+        let fig = slopes_for_ctx(self, ctx, CountingMode::UserKernel, hz)?;
+        Ok(Report::text("fig7.txt", fig.render()))
+    }
 }
 
-/// [`run_slopes`] with explicit execution-engine options. The flattened
+/// Registry driver for Figure 8 (user-mode slopes).
+pub struct Fig8;
+
+impl Experiment for Fig8 {
+    fn id(&self) -> &'static str {
+        "fig8"
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 8: user-mode error nearly duration-independent"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::STREAMING
+    }
+
+    fn run(&self, ctx: &ExperimentCtx<'_>) -> Result<Report> {
+        let fig = slopes_for_ctx(self, ctx, CountingMode::User, DEFAULT_HZ)?;
+        Ok(Report::text("fig8.txt", fig.render()))
+    }
+}
+
+/// The shared Figure 7/8 body: the [`DEFAULT_SIZES`] sweep at the ctx's
+/// duration reps, on whichever engine the ctx resolves to.
+fn slopes_for_ctx(
+    exp: &dyn Experiment,
+    ctx: &ExperimentCtx<'_>,
+    mode: CountingMode,
+    hz: u32,
+) -> Result<DurationFigure> {
+    let reps = ctx.scale.duration_reps;
+    match exp.engine(ctx) {
+        EngineMode::Streaming => {
+            run_slopes_streaming_with(mode, &DEFAULT_SIZES, reps, hz, &ctx.opts)
+        }
+        EngineMode::Batch => run_slopes_with(mode, &DEFAULT_SIZES, reps, hz, &ctx.opts),
+    }
+}
+
+/// Registry driver for Figure 9. The paper measures perfctr on the
+/// Core 2 Duo; that choice lives here, not in the CLI.
+pub struct Fig9Experiment;
+
+impl Experiment for Fig9Experiment {
+    fn id(&self) -> &'static str {
+        "fig9"
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 9: kernel-mode instructions by loop size (pc on CD)"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::STREAMING
+    }
+
+    fn run(&self, ctx: &ExperimentCtx<'_>) -> Result<Report> {
+        let reps = ctx.scale.fig9_reps;
+        let text = match self.engine(ctx) {
+            EngineMode::Streaming => run_fig9_streaming_with(
+                Processor::Core2Duo,
+                &FIG9_SIZES,
+                reps,
+                &ctx.opts,
+            )?
+            .render(),
+            EngineMode::Batch => {
+                run_fig9_with(Processor::Core2Duo, &FIG9_SIZES, reps, &ctx.opts)?.render()
+            }
+        };
+        Ok(Report::text("fig9.txt", text))
+    }
+}
+
+/// Runs the loop benchmark over `sizes` with `reps` repetitions per size
+/// for every (interface × processor), fitting the error-vs-iterations
+/// regression per pair. The flattened
 /// (interface × processor × size × rep) sweep runs through the engine in
 /// enumeration order, so the fitted slopes are identical at any worker
 /// count.
@@ -143,7 +248,7 @@ pub fn run_slopes_with(
     Ok(DurationFigure { mode, cells })
 }
 
-/// [`run_slopes`] on the streaming engine: the same sweep (same per-run
+/// [`run_slopes_with`] on the streaming engine: the same sweep (same per-run
 /// seeds, hence the same simulated measurements), but every `(loop size,
 /// error)` point folds straight into a per-pair [`Covariance`]
 /// accumulator on the worker that produced it — nothing is materialized.
@@ -277,15 +382,6 @@ pub struct Fig9 {
 /// # Errors
 ///
 /// Propagates measurement and statistics failures.
-pub fn run_fig9(processor: Processor, sizes: &[u64], reps: usize) -> Result<Fig9> {
-    run_fig9_with(processor, sizes, reps, &RunOptions::default())
-}
-
-/// [`run_fig9`] with explicit execution-engine options.
-///
-/// # Errors
-///
-/// Propagates measurement and statistics failures.
 pub fn run_fig9_with(
     processor: Processor,
     sizes: &[u64],
@@ -382,7 +478,7 @@ pub struct StreamingFig9 {
     pub processor: Processor,
 }
 
-/// [`run_fig9`] on the streaming engine: per-size
+/// [`run_fig9_with`] on the streaming engine: per-size
 /// [`SummaryAccumulator`]s plus one [`Covariance`] for the slope, folded
 /// on the workers; memory is `O(sizes)` however many repetitions run.
 ///
@@ -477,21 +573,6 @@ impl StreamingFig9 {
 /// # Errors
 ///
 /// Propagates measurement failures.
-pub fn sweep_records(
-    interface: Interface,
-    processor: Processor,
-    mode: CountingMode,
-    sizes: &[u64],
-    reps: usize,
-) -> Result<Vec<Record>> {
-    sweep_records_with(interface, processor, mode, sizes, reps, &RunOptions::default())
-}
-
-/// [`sweep_records`] with explicit execution-engine options.
-///
-/// # Errors
-///
-/// Propagates measurement failures.
 pub fn sweep_records_with(
     interface: Interface,
     processor: Processor,
@@ -523,7 +604,7 @@ mod tests {
 
     #[test]
     fn fig7_slopes_positive_and_in_range() {
-        let fig = run_slopes(CountingMode::UserKernel, &LONG_SIZES, 4, 250).unwrap();
+        let fig = run_slopes_with(CountingMode::UserKernel, &LONG_SIZES, 4, 250, &RunOptions::default()).unwrap();
         assert_eq!(fig.cells.len(), 18);
         for c in &fig.cells {
             assert!(
@@ -547,7 +628,7 @@ mod tests {
     fn fig7_papi_level_does_not_matter() {
         // “the error does not depend on whether we use the high level or
         // low level infrastructure” (§5).
-        let fig = run_slopes(CountingMode::UserKernel, &LONG_SIZES, 4, 250).unwrap();
+        let fig = run_slopes_with(CountingMode::UserKernel, &LONG_SIZES, 4, 250, &RunOptions::default()).unwrap();
         for p in Processor::ALL {
             let pm = fig.cell(Interface::Pm, p).unwrap().slope;
             let plpm = fig.cell(Interface::PLpm, p).unwrap().slope;
@@ -562,7 +643,7 @@ mod tests {
 
     #[test]
     fn fig8_slopes_tiny() {
-        let fig = run_slopes(CountingMode::User, &LONG_SIZES, 2, 250).unwrap();
+        let fig = run_slopes_with(CountingMode::User, &LONG_SIZES, 2, 250, &RunOptions::default()).unwrap();
         for c in &fig.cells {
             assert!(
                 c.slope.abs() < 1e-4,
@@ -576,8 +657,8 @@ mod tests {
 
     #[test]
     fn fig8_orders_of_magnitude_below_fig7() {
-        let f7 = run_slopes(CountingMode::UserKernel, &LONG_SIZES, 2, 250).unwrap();
-        let f8 = run_slopes(CountingMode::User, &LONG_SIZES, 2, 250).unwrap();
+        let f7 = run_slopes_with(CountingMode::UserKernel, &LONG_SIZES, 2, 250, &RunOptions::default()).unwrap();
+        let f8 = run_slopes_with(CountingMode::User, &LONG_SIZES, 2, 250, &RunOptions::default()).unwrap();
         let avg7: f64 = f7.cells.iter().map(|c| c.slope.abs()).sum::<f64>() / f7.cells.len() as f64;
         let avg8: f64 = f8.cells.iter().map(|c| c.slope.abs()).sum::<f64>() / f8.cells.len() as f64;
         assert!(
@@ -588,7 +669,7 @@ mod tests {
 
     #[test]
     fn no_timer_ablation_kills_slope() {
-        let fig = run_slopes(CountingMode::UserKernel, &DEFAULT_SIZES, 2, 0).unwrap();
+        let fig = run_slopes_with(CountingMode::UserKernel, &DEFAULT_SIZES, 2, 0, &RunOptions::default()).unwrap();
         for c in &fig.cells {
             assert!(
                 c.slope.abs() < 1e-5,
@@ -603,7 +684,7 @@ mod tests {
     #[test]
     fn fig9_slope_near_paper() {
         // Paper: 0.00204 kernel instructions per iteration (pc on CD).
-        let fig = run_fig9(Processor::Core2Duo, &FIG9_SIZES, 120).unwrap();
+        let fig = run_fig9_with(Processor::Core2Duo, &FIG9_SIZES, 120, &RunOptions::default()).unwrap();
         assert!(
             (0.0008..=0.0045).contains(&fig.slope),
             "slope = {}",
@@ -620,7 +701,7 @@ mod tests {
     #[test]
     fn streaming_slopes_match_batch() {
         let sizes = [500_000u64, 2_000_000, 5_000_000];
-        let batch = run_slopes(CountingMode::UserKernel, &sizes, 3, 250).unwrap();
+        let batch = run_slopes_with(CountingMode::UserKernel, &sizes, 3, 250, &RunOptions::default()).unwrap();
         let stream = run_slopes_streaming_with(
             CountingMode::UserKernel,
             &sizes,
@@ -650,7 +731,7 @@ mod tests {
 
     #[test]
     fn streaming_fig9_matches_batch() {
-        let fig = run_fig9(Processor::Core2Duo, &[1, 250_000, 1_000_000], 30).unwrap();
+        let fig = run_fig9_with(Processor::Core2Duo, &[1, 250_000, 1_000_000], 30, &RunOptions::default()).unwrap();
         let stream = run_fig9_streaming_with(
             Processor::Core2Duo,
             &[1, 250_000, 1_000_000],
@@ -670,12 +751,13 @@ mod tests {
 
     #[test]
     fn sweep_records_shape() {
-        let recs = sweep_records(
+        let recs = sweep_records_with(
             Interface::Pc,
             Processor::Core2Duo,
             CountingMode::UserKernel,
             &[1_000, 100_000],
             3,
+            &RunOptions::default(),
         )
         .unwrap();
         assert_eq!(recs.len(), 6);
@@ -685,11 +767,11 @@ mod tests {
 
     #[test]
     fn renders() {
-        let fig = run_slopes(CountingMode::UserKernel, &[1_000, 100_000], 1, 250).unwrap();
+        let fig = run_slopes_with(CountingMode::UserKernel, &[1_000, 100_000], 1, 250, &RunOptions::default()).unwrap();
         let text = fig.render();
         assert!(text.contains("Figure 7"));
         assert!(text.contains("slope"));
-        let f9 = run_fig9(Processor::Core2Duo, &[1, 500_000], 3).unwrap();
+        let f9 = run_fig9_with(Processor::Core2Duo, &[1, 500_000], 3, &RunOptions::default()).unwrap();
         assert!(f9.render().contains("Figure 9"));
     }
 }

@@ -15,6 +15,7 @@ use counterlab_stats::stream::SummaryAccumulator;
 use crate::benchmark::Benchmark;
 use crate::config::OptLevel;
 use crate::exec::RunOptions;
+use crate::experiment::{Capabilities, EngineMode, Experiment, ExperimentCtx, Report};
 use crate::grid::{Grid, RecordSet};
 use crate::interface::{CountingMode, Interface};
 use crate::pattern::Pattern;
@@ -73,16 +74,60 @@ pub struct InfrastructureFigure {
     pub rows: Vec<Table3Row>,
 }
 
-/// Runs the Figure 6 / Table 3 experiment.
-///
-/// # Errors
-///
-/// Propagates grid and statistics failures.
-pub fn run(reps: usize) -> Result<InfrastructureFigure> {
-    run_with(reps, &RunOptions::default())
+/// Registry driver for Table 3. Streaming swaps the bootstrap-CI column
+/// for constant-memory summaries (the CI needs the raw sample).
+pub struct Table3;
+
+impl Experiment for Table3 {
+    fn id(&self) -> &'static str {
+        "table3"
+    }
+
+    fn title(&self) -> &'static str {
+        "Table 3: error depends on infrastructure (best pattern per tool)"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::STREAMING
+    }
+
+    fn run(&self, ctx: &ExperimentCtx<'_>) -> Result<Report> {
+        let text = match self.engine(ctx) {
+            EngineMode::Streaming => {
+                run_streaming_with(ctx.scale.grid_reps, &ctx.opts)?.render_table3()
+            }
+            EngineMode::Batch => run_with(ctx.scale.grid_reps, &ctx.opts)?.render_table3(),
+        };
+        Ok(Report::text("table3.txt", text))
+    }
 }
 
-/// [`run`] with explicit execution-engine options.
+/// Registry driver for Figure 6 — batch only: the box plots need
+/// whiskers and outliers, which only the materialized records carry.
+///
+/// Requesting both `table3` and `fig6` runs the shared sweep once per
+/// driver. That is deliberate: the sweep is deterministic (identical
+/// per-run seeds) and takes milliseconds even at paper scale, so the
+/// registry keeps one self-contained experiment per id instead of a
+/// cross-driver result cache.
+pub struct Fig6;
+
+impl Experiment for Fig6 {
+    fn id(&self) -> &'static str {
+        "fig6"
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 6: error per interface as box plots"
+    }
+
+    fn run(&self, ctx: &ExperimentCtx<'_>) -> Result<Report> {
+        let fig = run_with(ctx.scale.grid_reps, &ctx.opts)?;
+        Ok(Report::text("fig6.txt", fig.render_fig6()))
+    }
+}
+
+/// Runs the Figure 6 / Table 3 experiment.
 ///
 /// # Errors
 ///
@@ -161,7 +206,7 @@ pub struct StreamingInfrastructure {
     pub rows: Vec<StreamingTable3Row>,
 }
 
-/// [`run`] on the streaming engine: the grid folds into one
+/// [`run_with`] on the streaming engine: the grid folds into one
 /// [`SummaryAccumulator`] per cell, pooled per (mode, interface, pattern)
 /// in cell-enumeration order, and the best pattern is chosen by streamed
 /// median exactly as the batch path chooses it.
@@ -326,7 +371,7 @@ mod tests {
     use super::*;
 
     fn fig() -> InfrastructureFigure {
-        run(2).unwrap()
+        run_with(2, &RunOptions::default()).unwrap()
     }
 
     #[test]
@@ -422,7 +467,7 @@ mod tests {
         // At this scale every pool stays inside the accumulators' exact
         // windows, so the streamed medians — and therefore the
         // best-pattern choices — must equal the batch path's exactly.
-        let batch = run(2).unwrap();
+        let batch = run_with(2, &RunOptions::default()).unwrap();
         let stream = run_streaming_with(2, &RunOptions::default()).unwrap();
         assert_eq!(stream.rows.len(), batch.rows.len());
         for b in &batch.rows {

@@ -13,25 +13,23 @@
 //! | [`duration`] | Figures 7, 8, 9 (error vs benchmark duration) |
 //! | [`cycles`] | Figures 10, 11, 12 (cycle-count perturbation) |
 //! | [`anova`] | §4.3 (n-way ANOVA of the error factors) |
+//! | [`cache`] | extension: d-cache miss accuracy (Korn-style) |
+//! | [`multiplexing`] | extension: multiplexed counting accuracy |
+//! | [`csv`] | the full null grid as CSV (Figure 1's raw data) |
 //!
-//! Every experiment takes a repetition parameter so the full paper-scale
-//! sweep (hundreds of thousands of measurements) and a quick smoke run
-//! share one code path.
-//!
-//! Most drivers also expose a `run_streaming_with` variant (or a
-//! `*_streaming_with` sibling per figure) built on the streaming
-//! statistics engine: the same simulated runs — identical per-run seeds —
-//! folded into constant-memory accumulators
-//! ([`counterlab_stats::stream`]) instead of a materialized record
-//! vector. Summaries agree with the batch drivers within the tolerances
-//! documented there (exactly, for counts/extremes/in-window quantiles);
-//! `tests/streaming_equivalence.rs` locks the contract in. Use streaming
-//! when pushing repetition counts beyond what `cells × reps` records fit
-//! in memory; use batch when a figure needs the raw sample (KDE violins,
-//! box-plot outliers, bootstrap CIs).
+//! Every submodule registers its drivers as [`crate::experiment::Experiment`]
+//! impls in [`crate::experiment::registry`] — the one public API for
+//! running reproductions. A driver's context carries the repetition
+//! scale, the execution-engine options, and the engine-mode selector:
+//! streaming is a ctx flag ([`crate::experiment::EngineMode::Streaming`]),
+//! not a parallel API, and experiments that need the raw sample (KDE
+//! violins, box-plot outliers, bootstrap CIs) simply declare themselves
+//! batch-only. The typed `*_with` functions remain underneath for tests
+//! and benches that compare engines or sweep custom sizes.
 
 pub mod anova;
 pub mod cache;
+pub mod csv;
 pub mod cycles;
 pub mod duration;
 pub mod infrastructure;

@@ -19,8 +19,36 @@ use counterlab_kernel::system::System;
 use counterlab_papi::multiplex::Multiplexed;
 use counterlab_papi::{BackendKind, PapiPreset};
 
+use crate::experiment::{Experiment, ExperimentCtx, Report};
 use crate::report;
 use crate::Result;
+
+/// Registry driver for the multiplexing extension. The rotation shape —
+/// [`ExtMultiplex::SLICES`] slices of [`ExtMultiplex::PER_SLICE`] loop
+/// iterations — is the experiment's own invariant, not a CLI knob.
+pub struct ExtMultiplex;
+
+impl ExtMultiplex {
+    /// Rotation slices per run.
+    pub const SLICES: usize = 8;
+    /// Loop iterations per slice.
+    pub const PER_SLICE: u64 = 250_000;
+}
+
+impl Experiment for ExtMultiplex {
+    fn id(&self) -> &'static str {
+        "ext-multiplex"
+    }
+
+    fn title(&self) -> &'static str {
+        "extension: multiplexed counting accuracy (4 events on 2 counters)"
+    }
+
+    fn run(&self, _ctx: &ExperimentCtx<'_>) -> Result<Report> {
+        let fig = run(Self::SLICES, Self::PER_SLICE)?;
+        Ok(Report::text("ext-multiplex.txt", fig.render()))
+    }
+}
 
 /// Events multiplexed in the experiment.
 pub const EVENTS: [PapiPreset; 4] = [

@@ -6,10 +6,38 @@ use counterlab_stats::histogram::Histogram;
 use counterlab_stats::prelude::*;
 
 use crate::exec::RunOptions;
+use crate::experiment::{Capabilities, EngineMode, Experiment, ExperimentCtx, Report};
 use crate::grid::{Grid, RecordSet};
 use crate::interface::CountingMode;
 use crate::report;
 use crate::{CoreError, Result};
+
+/// Registry driver for Figure 1.
+pub struct Fig1;
+
+impl Experiment for Fig1 {
+    fn id(&self) -> &'static str {
+        "fig1"
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 1: violin plots of all-configuration error"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::STREAMING
+    }
+
+    fn run(&self, ctx: &ExperimentCtx<'_>) -> Result<Report> {
+        let text = match self.engine(ctx) {
+            EngineMode::Streaming => {
+                run_streaming_with(ctx.scale.grid_reps, &ctx.opts)?.render()
+            }
+            EngineMode::Batch => run_with(ctx.scale.grid_reps, &ctx.opts)?.render(),
+        };
+        Ok(Report::text("fig1.txt", text))
+    }
+}
 
 /// The Figure 1 data: error distributions for user and user+kernel modes.
 #[derive(Debug, Clone)]
@@ -28,15 +56,6 @@ pub struct Overview {
 
 /// Runs the full null-benchmark grid with `reps` repetitions per cell and
 /// summarizes the error distributions of Figure 1.
-///
-/// # Errors
-///
-/// Propagates grid failures and summary-statistics errors.
-pub fn run(reps: usize) -> Result<Overview> {
-    run_with(reps, &RunOptions::default())
-}
-
-/// [`run`] with explicit execution-engine options.
 ///
 /// # Errors
 ///
@@ -83,7 +102,7 @@ pub struct StreamingOverview {
     pub user_kernel_density: Histogram,
 }
 
-/// [`run`] on the streaming engine: per-cell accumulators folded through
+/// [`run_with`] on the streaming engine: per-cell accumulators folded through
 /// [`Grid::run_fold`], pooled per counting mode in cell-enumeration order
 /// (so the pooling itself is deterministic at any worker count).
 ///
@@ -201,7 +220,7 @@ mod tests {
 
     #[test]
     fn overview_shapes_match_paper() {
-        let o = run(2).unwrap();
+        let o = run_with(2, &RunOptions::default()).unwrap();
         // Thousands of measurements even at reps=2.
         assert!(o.measurements > 2_000);
         // User+kernel errors dwarf user errors (Figure 1's two x scales:
@@ -221,7 +240,7 @@ mod tests {
 
     #[test]
     fn render_contains_sections() {
-        let o = run(1).unwrap();
+        let o = run_with(1, &RunOptions::default()).unwrap();
         let text = o.render();
         assert!(text.contains("Figure 1"));
         assert!(text.contains("user+OS"));
@@ -231,7 +250,7 @@ mod tests {
 
     #[test]
     fn streaming_matches_batch_overview() {
-        let batch = run(1).unwrap();
+        let batch = run_with(1, &RunOptions::default()).unwrap();
         let stream = run_streaming_with(1, &RunOptions::default()).unwrap();
         assert_eq!(stream.measurements, batch.measurements);
         // Counts and extremes are exact; the pooled quartiles go through

@@ -11,6 +11,7 @@ use counterlab_stats::boxplot::BoxPlot;
 use crate::benchmark::Benchmark;
 use crate::config::OptLevel;
 use crate::exec::RunOptions;
+use crate::experiment::{Experiment, ExperimentCtx, Report};
 use crate::grid::{Grid, RecordSet};
 use crate::interface::{CountingMode, Interface};
 use crate::pattern::Pattern;
@@ -41,16 +42,26 @@ pub struct RegisterFigure {
     pub processor: Processor,
 }
 
-/// Runs the Figure 5 experiment (`pm` and `pc` with 1..=4 registers).
-///
-/// # Errors
-///
-/// Propagates grid and statistics failures.
-pub fn run(processor: Processor, reps: usize) -> Result<RegisterFigure> {
-    run_with(processor, reps, &RunOptions::default())
+/// Registry driver for Figure 5. The paper runs this on the Athlon K8;
+/// that processor choice lives here, not in the CLI.
+pub struct Fig5;
+
+impl Experiment for Fig5 {
+    fn id(&self) -> &'static str {
+        "fig5"
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 5: error depends on number of counters (K8)"
+    }
+
+    fn run(&self, ctx: &ExperimentCtx<'_>) -> Result<Report> {
+        let fig = run_with(Processor::AthlonK8, ctx.scale.grid_reps, &ctx.opts)?;
+        Ok(Report::text("fig5.txt", fig.render()))
+    }
 }
 
-/// [`run`] with explicit execution-engine options.
+/// Runs the Figure 5 experiment (`pm` and `pc` with 1..=4 registers).
 ///
 /// # Errors
 ///
@@ -166,7 +177,7 @@ mod tests {
     use super::*;
 
     fn fig() -> RegisterFigure {
-        run(Processor::AthlonK8, 2).unwrap()
+        run_with(Processor::AthlonK8, 2, &RunOptions::default()).unwrap()
     }
 
     #[test]

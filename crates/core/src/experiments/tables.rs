@@ -5,8 +5,61 @@
 use counterlab_cpu::uarch::Processor;
 
 use crate::benchmark::Benchmark;
+use crate::experiment::{Experiment, ExperimentCtx, Report};
 use crate::pattern::Pattern;
 use crate::report;
+use crate::Result;
+
+/// Registry driver for Table 1.
+pub struct Table1;
+
+impl Experiment for Table1 {
+    fn id(&self) -> &'static str {
+        "table1"
+    }
+
+    fn title(&self) -> &'static str {
+        "Table 1: processors used in the study"
+    }
+
+    fn run(&self, _ctx: &ExperimentCtx<'_>) -> Result<Report> {
+        Ok(Report::text("table1.txt", table1()))
+    }
+}
+
+/// Registry driver for Table 2.
+pub struct Table2;
+
+impl Experiment for Table2 {
+    fn id(&self) -> &'static str {
+        "table2"
+    }
+
+    fn title(&self) -> &'static str {
+        "Table 2: counter access patterns"
+    }
+
+    fn run(&self, _ctx: &ExperimentCtx<'_>) -> Result<Report> {
+        Ok(Report::text("table2.txt", table2()))
+    }
+}
+
+/// Registry driver for the Figure 3 loop model.
+pub struct Fig3;
+
+impl Experiment for Fig3 {
+    fn id(&self) -> &'static str {
+        "fig3"
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 3: loop micro-benchmark and its instruction model"
+    }
+
+    fn run(&self, _ctx: &ExperimentCtx<'_>) -> Result<Report> {
+        Ok(Report::text("fig3.txt", fig3()))
+    }
+}
 
 /// Renders Table 1: the processors used in the study.
 pub fn table1() -> String {

@@ -12,6 +12,7 @@ use counterlab_stats::quantile::median;
 use crate::benchmark::Benchmark;
 use crate::config::OptLevel;
 use crate::exec::RunOptions;
+use crate::experiment::{Experiment, ExperimentCtx, Report};
 use crate::grid::{Grid, RecordSet};
 use crate::interface::{CountingMode, Interface};
 use crate::pattern::Pattern;
@@ -40,18 +41,28 @@ pub struct TscFigure {
     pub processor: Processor,
 }
 
+/// Registry driver for Figure 4. The paper runs this on the Core 2 Duo;
+/// that processor choice lives here, not in the CLI.
+pub struct Fig4;
+
+impl Experiment for Fig4 {
+    fn id(&self) -> &'static str {
+        "fig4"
+    }
+
+    fn title(&self) -> &'static str {
+        "Figure 4: using the TSC reduces error on perfctr (CD)"
+    }
+
+    fn run(&self, ctx: &ExperimentCtx<'_>) -> Result<Report> {
+        let fig = run_with(Processor::Core2Duo, ctx.scale.grid_reps, &ctx.opts)?;
+        Ok(Report::text("fig4.txt", fig.render()))
+    }
+}
+
 /// Runs the Figure 4 experiment on the given processor (the paper uses
 /// the Core 2 Duo) with `reps` repetitions per (pattern, optimization
 /// level, counter-selection) combination.
-///
-/// # Errors
-///
-/// Propagates grid and statistics failures.
-pub fn run(processor: Processor, reps: usize) -> Result<TscFigure> {
-    run_with(processor, reps, &RunOptions::default())
-}
-
-/// [`run`] with explicit execution-engine options.
 ///
 /// # Errors
 ///
@@ -153,7 +164,7 @@ impl TscFigure {
 ///
 /// Propagates experiment failures.
 pub fn read_read_medians(processor: Processor, reps: usize) -> Result<(f64, f64)> {
-    let fig = run(processor, reps)?;
+    let fig = run_with(processor, reps, &RunOptions::default())?;
     let get = |tsc: bool| -> Result<f64> {
         let errors: Vec<f64> = fig
             .cell(Pattern::ReadRead, CountingMode::UserKernel, tsc)
@@ -170,7 +181,7 @@ mod tests {
 
     #[test]
     fn tsc_on_reduces_read_patterns() {
-        let fig = run(Processor::Core2Duo, 2).unwrap();
+        let fig = run_with(Processor::Core2Duo, 2, &RunOptions::default()).unwrap();
         // Patterns that include a read benefit drastically (Fig 4).
         for pattern in [Pattern::ReadRead, Pattern::ReadStop] {
             let f = fig
@@ -187,7 +198,7 @@ mod tests {
 
     #[test]
     fn start_read_less_affected_than_read_read() {
-        let fig = run(Processor::Core2Duo, 2).unwrap();
+        let fig = run_with(Processor::Core2Duo, 2, &RunOptions::default()).unwrap();
         let rr = fig
             .reduction_factor(Pattern::ReadRead, CountingMode::UserKernel)
             .unwrap();
@@ -207,7 +218,7 @@ mod tests {
 
     #[test]
     fn render_has_all_cells() {
-        let fig = run(Processor::Core2Duo, 1).unwrap();
+        let fig = run_with(Processor::Core2Duo, 1, &RunOptions::default()).unwrap();
         assert_eq!(fig.cells.len(), 16);
         let text = fig.render();
         assert!(text.contains("read-read"));

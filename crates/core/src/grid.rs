@@ -271,7 +271,7 @@ impl Grid {
     ///
     /// # Errors
     ///
-    /// Propagates measurement failures; [`CoreError::NoData`] if
+    /// Propagates measurement failures; [`crate::CoreError::NoData`] if
     /// `reps == 0`.
     pub fn run_summaries(&self, opts: &RunOptions<'_>) -> Result<Vec<CellSummary>> {
         if self.reps == 0 {

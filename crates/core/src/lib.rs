@@ -20,6 +20,9 @@
 //!   (deterministic results at any worker count);
 //! * [`experiments`] — a generator for **every table and figure** in the
 //!   paper's evaluation;
+//! * [`experiment`] — the public API over those generators: the
+//!   [`experiment::Experiment`] trait, the static
+//!   [`experiment::registry`], and pluggable [`experiment::Sink`]s;
 //! * [`report`] — text/CSV rendering.
 //!
 //! The hardware and OS substrates live in the sibling crates
@@ -56,6 +59,7 @@ pub mod benchmark;
 pub mod compensation;
 pub mod config;
 pub mod exec;
+pub mod experiment;
 pub mod experiments;
 pub mod grid;
 pub mod interface;
@@ -84,6 +88,7 @@ pub mod prelude {
     pub use crate::benchmark::Benchmark;
     pub use crate::config::{MeasurementConfig, OptLevel};
     pub use crate::exec::RunOptions;
+    pub use crate::experiment::{EngineMode, Experiment, ExperimentCtx, Scale};
     pub use crate::grid::{Grid, RecordSet};
     pub use crate::interface::{AnyInterface, CountingMode, Interface};
     pub use crate::measure::{run_measurement, Record};

@@ -70,7 +70,7 @@ const MIN_BOXPLOT_WIDTH: usize = 8;
 
 /// Renders one labeled box plot as a text line scaled into `[lo, hi]`:
 /// whiskers `|---[ box ]---|` with the median marked `:`. Widths below
-/// [`MIN_BOXPLOT_WIDTH`] (notably `0`, which has no cell to put any
+/// `MIN_BOXPLOT_WIDTH` (notably `0`, which has no cell to put any
 /// marker in) are clamped up to it.
 pub fn boxplot_line(label: &str, bp: &BoxPlot, lo: f64, hi: f64, width: usize) -> String {
     let width = width.max(MIN_BOXPLOT_WIDTH);

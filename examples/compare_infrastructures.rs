@@ -3,6 +3,7 @@
 //!
 //! Run with `cargo run --example compare_infrastructures [reps]`.
 
+use counterlab::exec::RunOptions;
 use counterlab::experiments::infrastructure;
 use counterlab::interface::{CountingMode, Interface};
 
@@ -14,7 +15,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .unwrap_or(5);
 
     eprintln!("running the Figure 6 / Table 3 sweep (reps = {reps})...");
-    let fig = infrastructure::run(reps)?;
+    let fig = infrastructure::run_with(reps, &RunOptions::default())?;
     println!("{}", fig.render_table3());
     println!("{}", fig.render_fig6());
 

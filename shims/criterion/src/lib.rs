@@ -1,4 +1,4 @@
-//! Offline stand-in for the subset of the [`criterion`] benchmark harness
+//! Offline stand-in for the subset of the `criterion` benchmark harness
 //! that counterlab's `benches/` use: `criterion_group!`/`criterion_main!`,
 //! `Criterion::benchmark_group`, `BenchmarkGroup::{sample_size,
 //! bench_function, finish}`, `Bencher::iter` and `black_box`.

@@ -1,4 +1,4 @@
-//! Offline stand-in for the subset of the [`proptest`] crate that the
+//! Offline stand-in for the subset of the `proptest` crate that the
 //! counterlab test suites use. The build environment has no registry
 //! access, so this workspace member shadows `proptest` via a path
 //! dependency.

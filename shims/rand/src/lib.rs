@@ -1,4 +1,4 @@
-//! Offline stand-in for the subset of the [`rand`] crate that counterlab
+//! Offline stand-in for the subset of the `rand` crate that counterlab
 //! uses. The build environment has no registry access, so this workspace
 //! member shadows `rand` via a path dependency and provides:
 //!

@@ -1,0 +1,171 @@
+//! Registry conformance: every experiment in
+//! [`counterlab::experiment::registry`] honors the API contract the CLI
+//! is built on — stable unique ids and artifact names, truthful
+//! streaming capability, ablations with unique owners — and actually
+//! runs at smoke scale through a memory sink in every engine mode it
+//! claims to support.
+
+use counterlab::exec::RunOptions;
+use counterlab::experiment::{
+    ablation_owner, registry, ArtifactKind, EngineMode, ExperimentCtx, MemorySink, Scale,
+};
+
+/// The documented command list, in `repro all` emission order. A new
+/// experiment must be added here deliberately (and to the README) —
+/// accidental registry edits fail this test.
+const DOCUMENTED_IDS: [&str; 18] = [
+    "table1",
+    "table2",
+    "fig3",
+    "fig1",
+    "fig4",
+    "fig5",
+    "table3",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "anova",
+    "ext-cache",
+    "ext-multiplex",
+    "csv",
+];
+
+fn smoke_ctx(mode: EngineMode) -> ExperimentCtx<'static> {
+    ExperimentCtx::new(Scale::quick())
+        .with_opts(RunOptions::with_jobs(2))
+        .with_mode(mode)
+}
+
+#[test]
+fn ids_match_documented_command_list() {
+    let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
+    assert_eq!(ids, DOCUMENTED_IDS);
+}
+
+#[test]
+fn ids_and_titles_are_well_formed() {
+    for exp in registry() {
+        let id = exp.id();
+        assert!(!id.is_empty() && id.len() <= 16, "{id:?}");
+        assert!(
+            id.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+            "{id:?} is not a stable lowercase command id"
+        );
+        assert!(!id.starts_with("--"), "{id:?} collides with flag syntax");
+        assert!(!exp.title().is_empty(), "{id}: empty title");
+    }
+}
+
+#[test]
+fn ablation_flags_have_unique_owners() {
+    for exp in registry() {
+        for a in exp.capabilities().ablations {
+            assert!(a.flag.starts_with("--"), "{}: {:?}", exp.id(), a.flag);
+            assert!(!a.effect.is_empty(), "{}: {} lacks a description", exp.id(), a.flag);
+            let owner = ablation_owner(a.flag).expect("flag resolves");
+            assert_eq!(
+                owner.id(),
+                exp.id(),
+                "{} is declared by more than one experiment",
+                a.flag
+            );
+        }
+    }
+}
+
+/// Every experiment runs at smoke scale through a [`MemorySink`] in both
+/// engine modes it claims to support; artifact names are unique across
+/// the whole registry and stable across runs; streaming-incapable
+/// experiments ignore a streaming request bit-for-bit.
+#[test]
+fn every_experiment_runs_at_smoke_scale_in_claimed_modes() {
+    let mut seen_names: Vec<&'static str> = Vec::new();
+    for exp in registry() {
+        let id = exp.id();
+
+        let mut batch = MemorySink::new();
+        let emitted = exp
+            .run(&smoke_ctx(EngineMode::Batch))
+            .unwrap_or_else(|e| panic!("{id} failed batch smoke run: {e}"))
+            .emit(&mut batch)
+            .unwrap_or_else(|e| panic!("{id} failed to emit: {e}"));
+        assert!(!emitted.is_empty(), "{id}: empty report");
+        for artifact in &batch.artifacts {
+            assert!(
+                !seen_names.contains(&artifact.name),
+                "{id}: artifact {} also produced by another experiment",
+                artifact.name
+            );
+            seen_names.push(artifact.name);
+            assert!(!artifact.content.is_empty(), "{id}: empty {}", artifact.name);
+            match artifact.kind {
+                ArtifactKind::Text => assert!(artifact.rows.is_none()),
+                ArtifactKind::Rows => {
+                    assert!(artifact.rows.is_some(), "{id}: rows artifact without count");
+                }
+            }
+        }
+
+        // A second batch run is byte-identical (fixed seeds).
+        let mut again = MemorySink::new();
+        exp.run(&smoke_ctx(EngineMode::Batch))
+            .unwrap()
+            .emit(&mut again)
+            .unwrap();
+        assert_eq!(
+            again.artifacts, batch.artifacts,
+            "{id}: batch run not deterministic"
+        );
+
+        // The streaming ctx: a real streaming run when claimed, a
+        // byte-identical batch run when not (the mode must be ignored,
+        // not half-applied).
+        let mut stream = MemorySink::new();
+        exp.run(&smoke_ctx(EngineMode::Streaming))
+            .unwrap_or_else(|e| panic!("{id} failed streaming smoke run: {e}"))
+            .emit(&mut stream)
+            .unwrap_or_else(|e| panic!("{id} failed to emit streaming: {e}"));
+        let names = |sink: &MemorySink| -> Vec<&'static str> {
+            sink.artifacts.iter().map(|a| a.name).collect()
+        };
+        assert_eq!(names(&stream), names(&batch), "{id}: artifact names differ by mode");
+        if !exp.capabilities().streaming {
+            assert_eq!(
+                stream.artifacts, batch.artifacts,
+                "{id}: claims batch-only but a streaming request changed its output"
+            );
+        }
+    }
+}
+
+/// Experiments declaring an ablation produce different output when the
+/// flag is enabled — an ablation that changes nothing is a wiring bug
+/// of exactly the kind the old CLI had.
+#[test]
+fn declared_ablations_change_output() {
+    for exp in registry() {
+        for a in exp.capabilities().ablations {
+            let mut plain = MemorySink::new();
+            exp.run(&smoke_ctx(EngineMode::Batch))
+                .unwrap()
+                .emit(&mut plain)
+                .unwrap();
+            let mut ablated = MemorySink::new();
+            exp.run(&smoke_ctx(EngineMode::Batch).with_ablation(a.flag))
+                .unwrap()
+                .emit(&mut ablated)
+                .unwrap();
+            assert_ne!(
+                plain.artifacts,
+                ablated.artifacts,
+                "{}: {} changed nothing",
+                exp.id(),
+                a.flag
+            );
+        }
+    }
+}

@@ -15,6 +15,8 @@
 
 use counterlab::benchmark::Benchmark;
 use counterlab::exec::RunOptions;
+use counterlab::experiment::{EngineMode, MemorySink, Sink};
+use counterlab::experiments::csv;
 use counterlab::grid::Grid;
 use counterlab::interface::{CountingMode, Interface};
 use counterlab::pattern::Pattern;
@@ -63,6 +65,29 @@ fn golden_csv_is_stable_across_jobs_and_stream() {
         "CSV drifted from {GOLDEN_PATH}; if the change is intentional, \
          regenerate with GOLDEN_REGEN=1 and review the diff"
     );
+}
+
+/// The same pin through the experiment API: the CSV artifact produced by
+/// [`csv::csv_artifact`] and consumed by a [`Sink`] is byte-identical to
+/// the seed golden in both engine modes — so the registry path cannot
+/// silently diverge from the direct grid path it replaced.
+#[test]
+fn golden_csv_is_stable_through_artifact_sinks() {
+    for mode in [EngineMode::Batch, EngineMode::Streaming] {
+        for jobs in [1usize, 4] {
+            let mut sink = MemorySink::new();
+            let rows = sink
+                .consume(csv::csv_artifact(golden_grid(), mode, jobs, false))
+                .unwrap()
+                .expect("row artifact reports its record count");
+            let stored = sink.get(csv::ARTIFACT).unwrap();
+            assert_eq!(
+                stored.content, GOLDEN,
+                "{mode:?}/jobs={jobs} diverged from {GOLDEN_PATH}"
+            );
+            assert_eq!(rows as usize, golden_grid().run_count(), "{mode:?}/jobs={jobs}");
+        }
+    }
 }
 
 #[test]
