@@ -18,6 +18,8 @@ use counterlab::experiment::{
 };
 use counterlab::report;
 
+mod bench;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
@@ -32,6 +34,11 @@ fn main() -> ExitCode {
 /// Pseudo-commands understood besides the registry's experiment ids.
 const ALL: &str = "all";
 const LIST: &str = "list";
+const BENCH: &str = "bench";
+
+/// Default output path of `repro bench` (one JSON per PR: the perf
+/// trajectory accumulates as CI artifacts).
+const BENCH_JSON: &str = "BENCH_5.json";
 
 fn run(args: &[String]) -> Result<(), String> {
     let mut scale = Scale::standard();
@@ -39,6 +46,9 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut commands: Vec<&'static str> = Vec::new();
     let mut ablations: Vec<&'static str> = Vec::new();
     let mut list = false;
+    let mut bench = false;
+    let mut bench_json = PathBuf::from(BENCH_JSON);
+    let mut json_given = false;
     // Streaming engine: constant-memory per-cell aggregation. Experiments
     // whose capabilities don't claim streaming run batch as usual, and
     // `csv` output is byte-identical either way.
@@ -70,11 +80,17 @@ fn run(args: &[String]) -> Result<(), String> {
                     .ok_or_else(|| format!("--jobs needs a thread count >= 1, got {value:?}"))?;
             }
             "--stream" => stream = true,
+            "--json" => {
+                i += 1;
+                bench_json = PathBuf::from(args.get(i).ok_or("--json needs a path")?);
+                json_given = true;
+            }
             "--help" | "-h" => {
                 println!("{}", help());
                 return Ok(());
             }
             LIST => list = true,
+            BENCH => bench = true,
             ALL => commands.push(ALL),
             cmd => {
                 // The registry is the single source of truth for both the
@@ -96,6 +112,21 @@ fn run(args: &[String]) -> Result<(), String> {
             }
         }
         i += 1;
+    }
+
+    if json_given && !bench {
+        return Err(format!("--json only applies to {BENCH}; see --help"));
+    }
+    if bench {
+        if !commands.is_empty() || list || stream || !ablations.is_empty() || out_dir.is_some() {
+            return Err(format!("{BENCH} runs alone; see --help"));
+        }
+        let scale_name = Scale::NAMES
+            .iter()
+            .find(|n| Scale::from_name(n) == Some(scale))
+            .copied()
+            .unwrap_or("custom");
+        return bench::run(scale_name, scale, jobs, &bench_json);
     }
 
     if list {
@@ -210,6 +241,13 @@ fn help() -> String {
     }
     commands.push_str(&format!("  {ALL:<13} every experiment above\n"));
     commands.push_str(&format!("  {LIST:<13} print the experiment registry\n"));
+    commands.push_str(&format!(
+        "  {BENCH:<13} time the measurement engine (null grid, fig7,\n\
+         {:<15}csv streaming; session vs fresh-boot) and write\n\
+         {:<15}machine-readable results to {BENCH_JSON} (--json PATH\n\
+         {:<15}overrides); runs alone\n",
+        "", "", ""
+    ));
 
     let mut ablations = String::new();
     for exp in registry() {
@@ -254,6 +292,8 @@ OPTIONS:
                                 the sweep sequentially on the calling
                                 thread; results are identical either way)
   --out DIR                     also write artifacts into DIR
+  --json PATH                   bench: where the results JSON lands
+                                (default {BENCH_JSON})
   --stream                      run on the streaming statistics engine:
                                 constant-memory per-cell aggregation.
                                 csv output is byte-identical; figure
@@ -297,7 +337,7 @@ mod tests {
                 );
             }
         }
-        for word in [ALL, LIST, "--stream", "--jobs", "--out", "--scale"] {
+        for word in [ALL, LIST, BENCH, "--stream", "--jobs", "--out", "--scale", "--json"] {
             assert!(
                 help.split_whitespace().any(|w| w == word),
                 "{word} missing from --help"
@@ -368,6 +408,57 @@ mod tests {
             assert_eq!(csv, reference, "{name} diverged from --jobs 1");
         }
         let _ = std::fs::remove_dir_all(&base);
+    }
+
+    /// `bench` is a standalone command: combining it with experiments,
+    /// `list`, `--stream` or ablation flags is a usage error (it would
+    /// silently change what gets timed).
+    #[test]
+    fn bench_runs_alone() {
+        for bad in [
+            &["bench", "fig1"][..],
+            &["bench", "list"],
+            &["bench", "--stream"],
+            &["bench", "--out", "somewhere"],
+            &["fig7", "--no-timer", "bench"],
+        ] {
+            let e = super::run(&args(bad)).unwrap_err();
+            assert!(e.contains("bench runs alone"), "{bad:?}: {e}");
+        }
+        // And its flag is rejected without it (no silent no-op).
+        let e = super::run(&args(&["table1", "--json", "x.json"])).unwrap_err();
+        assert!(e.contains("--json only applies to bench"), "{e}");
+    }
+
+    /// The full harness at quick scale: writes valid-shaped JSON whose
+    /// null-grid section carries both boot policies and a speedup field.
+    #[test]
+    fn bench_writes_json() {
+        let path = std::env::temp_dir().join(format!("bench5-{}.json", std::process::id()));
+        let a = args(&[
+            "--scale",
+            "quick",
+            "--jobs",
+            "2",
+            "bench",
+            "--json",
+            path.to_str().unwrap(),
+        ]);
+        super::run(&a).unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        for key in [
+            "\"null_grid\"",
+            "\"fig7_duration\"",
+            "\"csv_stream\"",
+            "\"speedup\"",
+            "\"fresh\"",
+            "\"session\"",
+            "\"allocs_per_run\"",
+            "\"scale\": \"quick\"",
+        ] {
+            assert!(json.contains(key), "{key} missing from {json}");
+        }
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -297,6 +297,87 @@ where
     Ok(merged)
 }
 
+/// Runs `cells × reps` work items grouped **by cell**: each cell is one
+/// work item claimed by one worker, which creates the cell's state once
+/// (`state(cell)` — a measurement session, booted once) and then runs the
+/// cell's repetitions *in repetition order* against it. Results come back
+/// flattened in `cell × repetition` order — byte-identical to
+/// [`run_indexed`] over the same flat index space at any worker count.
+///
+/// Cells may be split into blocks of `block` repetitions (`block = reps`
+/// disables splitting): a sweep with few, expensive cells regains
+/// parallelism while still amortizing the state construction over a whole
+/// block. Block boundaries never cross a cell, so state is never shared
+/// across cells.
+///
+/// Default repetition-block size for [`run_cell_chunked`] callers whose
+/// sweeps have few cells: one state (a booted measurement session)
+/// serves up to this many repetitions before the next block — and its
+/// worker — takes over, balancing state amortization against
+/// parallelism. Grid-scale sweeps (thousands of cells) use
+/// `block = reps` instead.
+pub const SESSION_REP_BLOCK: usize = 32;
+
+/// `state(cell, first_rep)` builds the block's state, where `first_rep`
+/// is the first repetition the block will run (so a session can boot
+/// directly armed for it). `work(state, i)` receives the **flat** index
+/// `i` (cell `i / reps`, repetition `i % reps`), exactly as a flat engine
+/// would hand out.
+///
+/// # Errors
+///
+/// The error of the lowest flat index that fails, at any worker count:
+/// blocks are claimed monotonically and a failing block stops at its first
+/// failing repetition, so the winning error is the same one the flat
+/// engine would report.
+pub fn run_cell_chunked<'a, T, S, N, F>(
+    cells: usize,
+    reps: usize,
+    block: usize,
+    opts: &RunOptions<'a>,
+    state: N,
+    work: F,
+) -> Result<Vec<T>>
+where
+    T: Send,
+    N: Fn(usize, usize) -> Result<S> + Sync,
+    F: Fn(&mut S, usize) -> Result<T> + Sync,
+{
+    if cells == 0 || reps == 0 {
+        return Ok(Vec::new());
+    }
+    let block = block.clamp(1, reps);
+    let blocks_per_cell = reps.div_ceil(block);
+    let total = cells * reps;
+    let completed = AtomicUsize::new(0);
+    let groups = run_indexed(
+        cells * blocks_per_cell,
+        &RunOptions {
+            jobs: opts.effective_jobs(cells * blocks_per_cell),
+            progress: None,
+        },
+        |g| {
+            let cell = g / blocks_per_cell;
+            let first_rep = (g % blocks_per_cell) * block;
+            let len = block.min(reps - first_rep);
+            let mut st = state(cell, first_rep)?;
+            let mut out = Vec::with_capacity(len);
+            for rep in first_rep..first_rep + len {
+                out.push(work(&mut st, cell * reps + rep)?);
+                if let Some(progress) = opts.progress {
+                    progress(completed.fetch_add(1, Ordering::Relaxed) + 1, total);
+                }
+            }
+            Ok(out)
+        },
+    )?;
+    let mut out = Vec::with_capacity(total);
+    for group in groups {
+        out.extend(group);
+    }
+    Ok(out)
+}
+
 /// Chunk size of [`run_indexed_each`]: large enough to amortize pool
 /// startup, small enough that resident memory stays flat.
 const EACH_CHUNK: usize = 2048;
@@ -506,6 +587,110 @@ mod tests {
         )
         .unwrap();
         assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn cell_chunked_matches_flat_order_at_any_jobs_and_block() {
+        let flat: Vec<usize> = (0..60).map(|i| i * 7).collect();
+        for jobs in [1, 2, 4, 8] {
+            for block in [1, 3, 5, 100] {
+                let got = run_cell_chunked(
+                    12,
+                    5,
+                    block,
+                    &RunOptions::with_jobs(jobs),
+                    |cell, _first| Ok(cell * 1000),
+                    |state, i| {
+                        assert_eq!(*state / 1000, i / 5, "state belongs to the item's cell");
+                        Ok(i * 7)
+                    },
+                )
+                .unwrap();
+                assert_eq!(got, flat, "jobs={jobs} block={block}");
+            }
+        }
+    }
+
+    #[test]
+    fn cell_chunked_state_runs_reps_in_order() {
+        // Within a cell, repetitions must hit the state sequentially and
+        // in repetition order (that is what lets a session be reused).
+        let got = run_cell_chunked(
+            4,
+            6,
+            6,
+            &RunOptions::with_jobs(4),
+            |_c, _first| Ok(Vec::<usize>::new()),
+            |seen, i| {
+                seen.push(i % 6);
+                assert_eq!(seen.len(), i % 6 + 1, "reps in order within the cell");
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(got.len(), 24);
+    }
+
+    #[test]
+    fn cell_chunked_lowest_flat_index_error_wins() {
+        for jobs in [1, 2, 4, 8] {
+            let err = run_cell_chunked(
+                10,
+                4,
+                2,
+                &RunOptions::with_jobs(jobs),
+                |_c, _first| Ok(()),
+                |(), i| {
+                    if i >= 13 {
+                        Err(CoreError::InvalidConfig(format!("chunk boom at {i}")))
+                    } else {
+                        Ok(i)
+                    }
+                },
+            )
+            .unwrap_err();
+            assert!(
+                err.to_string().contains("chunk boom at 13"),
+                "jobs={jobs}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn cell_chunked_empty_dimensions() {
+        let none = run_cell_chunked(
+            0,
+            5,
+            5,
+            &RunOptions::default(),
+            |_, _| Ok(()),
+            |(), i| Ok(i),
+        )
+        .unwrap();
+        assert!(none.is_empty());
+        let zero_reps = run_cell_chunked(
+            5,
+            0,
+            1,
+            &RunOptions::default(),
+            |_, _| -> Result<()> { panic!("state must not be built for zero reps") },
+            |(), i| Ok(i),
+        )
+        .unwrap();
+        assert!(zero_reps.is_empty());
+    }
+
+    #[test]
+    fn cell_chunked_progress_reports_every_item() {
+        let seen = AtomicUsize::new(0);
+        let progress = |done: usize, total: usize| {
+            seen.fetch_add(1, Ordering::Relaxed);
+            assert!(done >= 1 && done <= total);
+            assert_eq!(total, 30);
+        };
+        let opts = RunOptions::with_jobs(3).with_progress(&progress);
+        run_cell_chunked(6, 5, 5, &opts, |_, _| Ok(()), |(), i| Ok(i)).unwrap();
+        assert_eq!(seen.load(Ordering::Relaxed), 30);
     }
 
     #[test]

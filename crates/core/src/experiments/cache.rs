@@ -19,7 +19,7 @@ use crate::config::MeasurementConfig;
 use crate::exec::{self, RunOptions};
 use crate::experiment::{Capabilities, EngineMode, Experiment, ExperimentCtx, Report};
 use crate::interface::{CountingMode, Interface};
-use crate::measure::run_measurement;
+use crate::measure::{run_measurement, MeasurementSession};
 use crate::pattern::Pattern;
 use crate::report;
 use crate::{CoreError, Result};
@@ -27,6 +27,13 @@ use crate::{CoreError, Result};
 /// The analytically expected d-cache misses of an array walk.
 pub fn expected_misses(iters: u64) -> u64 {
     iters / counterlab_cpu::machine::Machine::SEQUENTIAL_WALK_MISS_PERIOD
+}
+
+/// The per-run seed of the cache sweep — one definition shared by the
+/// batch and streaming paths and by the session boot (so the first
+/// repetition's run consumes the boot state directly).
+fn cache_seed(interface: Interface, rep: usize) -> u64 {
+    0xCAC4E ^ (rep as u64) << 8 ^ (interface as u64)
 }
 
 /// One row: an interface's d-cache-miss measurement error distribution.
@@ -105,18 +112,31 @@ pub fn run_with(
 ) -> Result<CacheFigure> {
     let expected = expected_misses(iters);
     let reps = reps.max(2);
-    let excess = exec::run_indexed(Interface::ALL.len() * reps, opts, |idx| {
-        let interface = Interface::ALL[idx / reps];
-        let rep = idx % reps;
-        let cfg = MeasurementConfig::new(processor, interface)
+    let cfg_for = |interface: Interface, rep: usize| {
+        MeasurementConfig::new(processor, interface)
             .with_pattern(Pattern::StartRead)
             .with_event(Event::DCacheMisses)
             .with_mode(CountingMode::UserKernel)
             .with_hz(0)
-            .with_seed(0xCAC4E ^ (rep as u64) << 8 ^ (interface as u64));
-        let rec = run_measurement(&cfg, Benchmark::ArrayWalk { iters })?;
-        Ok(rec.measured as f64 - expected as f64)
-    })?;
+            .with_seed(cache_seed(interface, rep))
+    };
+    let excess = exec::run_cell_chunked(
+        Interface::ALL.len(),
+        reps,
+        exec::SESSION_REP_BLOCK,
+        opts,
+        |cell, first_rep| {
+            MeasurementSession::new(
+                &cfg_for(Interface::ALL[cell], first_rep),
+                Benchmark::ArrayWalk { iters },
+            )
+        },
+        |session, idx| {
+            let interface = Interface::ALL[idx / reps];
+            let rec = session.run(cache_seed(interface, idx % reps))?;
+            Ok(rec.measured as f64 - expected as f64)
+        },
+    )?;
 
     let mut rows = Vec::new();
     for (i, &interface) in Interface::ALL.iter().enumerate() {
@@ -184,7 +204,7 @@ pub fn run_streaming_with(
                 .with_event(Event::DCacheMisses)
                 .with_mode(CountingMode::UserKernel)
                 .with_hz(0)
-                .with_seed(0xCAC4E ^ (rep as u64) << 8 ^ (interface as u64));
+                .with_seed(cache_seed(interface, rep));
             let rec = run_measurement(&cfg, Benchmark::ArrayWalk { iters })?;
             shard[idx / reps].push(rec.measured as f64 - expected as f64);
             Ok(())

@@ -20,8 +20,9 @@ use crate::exec::{self, RunOptions};
 use crate::experiment::{
     Ablation, Capabilities, EngineMode, Experiment, ExperimentCtx, Report,
 };
+use crate::exec::SESSION_REP_BLOCK;
 use crate::interface::{CountingMode, Interface};
-use crate::measure::run_measurement;
+use crate::measure::{run_measurement, MeasurementSession};
 use crate::pattern::Pattern;
 use crate::report;
 use crate::{CoreError, Result};
@@ -206,24 +207,44 @@ pub fn panel_with(
         .flat_map(|&pattern| OptLevel::ALL.iter().map(move |&opt| (pattern, opt)))
         .collect();
     let per_build = sizes.len() * reps;
-    let points = exec::run_indexed(builds.len() * per_build, opts, |idx| {
-        let (pattern, opt_level) = builds[idx / per_build];
-        let iters = sizes[(idx % per_build) / reps];
-        let rep = idx % reps;
-        let cfg = MeasurementConfig::new(processor, interface)
+    let seed_for = |iters: u64, rep: usize| {
+        0xCC_1E5 ^ iters.wrapping_mul(7) ^ ((rep as u64) << 24)
+    };
+    let cfg_for = |pattern: Pattern, opt_level: OptLevel, iters: u64, rep: usize| {
+        MeasurementConfig::new(processor, interface)
             .with_pattern(pattern)
             .with_opt_level(opt_level)
             .with_mode(CountingMode::UserKernel)
             .with_event(Event::CoreCycles)
-            .with_seed(0xCC_1E5 ^ iters.wrapping_mul(7) ^ ((rep as u64) << 24));
-        let rec = run_measurement(&cfg, Benchmark::Loop { iters })?;
-        Ok(CyclePoint {
-            iters,
-            cycles: rec.measured,
-            pattern,
-            opt_level,
-        })
-    })?;
+            .with_seed(seed_for(iters, rep))
+    };
+    // One cell per (build, size), each served by a reused session per
+    // repetition block — bit-identical to booting fresh per run.
+    let points = exec::run_cell_chunked(
+        builds.len() * sizes.len(),
+        reps,
+        SESSION_REP_BLOCK,
+        opts,
+        |cell, first_rep| {
+            let (pattern, opt_level) = builds[cell / sizes.len()];
+            let iters = sizes[cell % sizes.len()];
+            MeasurementSession::new(
+                &cfg_for(pattern, opt_level, iters, first_rep),
+                Benchmark::Loop { iters },
+            )
+        },
+        |session, idx| {
+            let (pattern, opt_level) = builds[idx / per_build];
+            let iters = sizes[(idx % per_build) / reps];
+            let rec = session.run(seed_for(iters, idx % reps))?;
+            Ok(CyclePoint {
+                iters,
+                cycles: rec.measured,
+                pattern,
+                opt_level,
+            })
+        },
+    )?;
     if points.is_empty() {
         return Err(CoreError::NoData("cycle panel"));
     }

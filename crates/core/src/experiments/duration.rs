@@ -23,9 +23,10 @@ use crate::experiment::{
     Ablation, Capabilities, EngineMode, Experiment, ExperimentCtx, Report,
 };
 use crate::interface::{CountingMode, Interface};
-use crate::measure::{run_measurement, Record};
+use crate::measure::{run_measurement, MeasurementSession, Record};
 use crate::pattern::Pattern;
 use crate::report;
+use crate::exec::SESSION_REP_BLOCK;
 use crate::{CoreError, Result};
 
 /// Default loop sizes for the slope experiments. The paper's figures show
@@ -207,25 +208,40 @@ pub fn run_slopes_with(
         .iter()
         .flat_map(|&i| Processor::ALL.iter().map(move |&p| (i, p)))
         .collect();
-    let records = exec::run_indexed(pairs.len() * per_pair, opts, |idx| {
-        let (interface, processor) = pairs[idx / per_pair];
-        let size = sizes[(idx % per_pair) / reps];
-        let rep = idx % reps;
-        // Per-cell seed decorrelation: every (interface, processor, size,
-        // rep) run gets an independent timer phase, as every paper run
-        // was a fresh process.
-        let seed = 0xD0_0D
+    // Per-cell seed decorrelation: every (interface, processor, size,
+    // rep) run gets an independent timer phase, as every paper run was a
+    // fresh process.
+    let seed_for = |interface: Interface, processor: Processor, size: u64, rep: usize| {
+        0xD0_0D
             ^ size.wrapping_mul(0x9E37_79B9)
             ^ ((rep as u64) << 17)
             ^ ((interface as u64) << 40)
-            ^ ((processor as u64) << 47);
-        let cfg = MeasurementConfig::new(processor, interface)
-            .with_pattern(Pattern::StartRead)
-            .with_mode(mode)
-            .with_hz(hz)
-            .with_seed(seed);
-        run_measurement(&cfg, Benchmark::Loop { iters: size })
-    })?;
+            ^ ((processor as u64) << 47)
+    };
+    // One cell per (pair, size); a session boots once per repetition
+    // block and is reseeded per run — bit-identical to fresh boots.
+    let records = exec::run_cell_chunked(
+        pairs.len() * sizes.len(),
+        reps,
+        SESSION_REP_BLOCK,
+        opts,
+        |cell, first_rep| {
+            let (interface, processor) = pairs[cell / sizes.len()];
+            let size = sizes[cell % sizes.len()];
+            let cfg = MeasurementConfig::new(processor, interface)
+                .with_pattern(Pattern::StartRead)
+                .with_mode(mode)
+                .with_hz(hz)
+                .with_seed(seed_for(interface, processor, size, first_rep));
+            MeasurementSession::new(&cfg, Benchmark::Loop { iters: size })
+        },
+        |session, idx| {
+            let (interface, processor) = pairs[idx / per_pair];
+            let size = sizes[(idx % per_pair) / reps];
+            let rep = idx % reps;
+            session.run(seed_for(interface, processor, size, rep))
+        },
+    )?;
 
     let mut cells = Vec::new();
     for (pair_idx, &(interface, processor)) in pairs.iter().enumerate() {
@@ -389,15 +405,29 @@ pub fn run_fig9_with(
     opts: &RunOptions<'_>,
 ) -> Result<Fig9> {
     let reps = reps.max(2);
-    let records = exec::run_indexed(sizes.len() * reps, opts, |idx| {
-        let size = sizes[idx / reps];
-        let rep = idx % reps;
-        let cfg = MeasurementConfig::new(processor, Interface::Pc)
+    let seed_for = |size: u64, rep: usize| {
+        0xF169 ^ size.wrapping_mul(1_000_003) ^ (rep as u64) << 20
+    };
+    let cfg_for = |size: u64, rep: usize| {
+        MeasurementConfig::new(processor, Interface::Pc)
             .with_pattern(Pattern::StartRead)
             .with_mode(CountingMode::Kernel)
-            .with_seed(0xF169 ^ size.wrapping_mul(1_000_003) ^ (rep as u64) << 20);
-        run_measurement(&cfg, Benchmark::Loop { iters: size })
-    })?;
+            .with_seed(seed_for(size, rep))
+    };
+    let records = exec::run_cell_chunked(
+        sizes.len(),
+        reps,
+        SESSION_REP_BLOCK,
+        opts,
+        |cell, first_rep| {
+            let size = sizes[cell];
+            MeasurementSession::new(&cfg_for(size, first_rep), Benchmark::Loop { iters: size })
+        },
+        |session, idx| {
+            let size = sizes[idx / reps];
+            session.run(seed_for(size, idx % reps))
+        },
+    )?;
 
     let mut boxes = Vec::new();
     let mut xs = Vec::new();
@@ -582,15 +612,27 @@ pub fn sweep_records_with(
     opts: &RunOptions<'_>,
 ) -> Result<Vec<Record>> {
     let reps = reps.max(1);
-    exec::run_indexed(sizes.len() * reps, opts, |idx| {
-        let size = sizes[idx / reps];
-        let rep = idx % reps;
-        let cfg = MeasurementConfig::new(processor, interface)
+    let seed_for = |size: u64, rep: usize| 0x517A_u64 ^ size ^ ((rep as u64) << 32);
+    let cfg_for = |size: u64, rep: usize| {
+        MeasurementConfig::new(processor, interface)
             .with_pattern(Pattern::StartRead)
             .with_mode(mode)
-            .with_seed(0x517A_u64 ^ size ^ ((rep as u64) << 32));
-        run_measurement(&cfg, Benchmark::Loop { iters: size })
-    })
+            .with_seed(seed_for(size, rep))
+    };
+    exec::run_cell_chunked(
+        sizes.len(),
+        reps,
+        SESSION_REP_BLOCK,
+        opts,
+        |cell, first_rep| {
+            let size = sizes[cell];
+            MeasurementSession::new(&cfg_for(size, first_rep), Benchmark::Loop { iters: size })
+        },
+        |session, idx| {
+            let size = sizes[idx / reps];
+            session.run(seed_for(size, idx % reps))
+        },
+    )
 }
 
 #[cfg(test)]

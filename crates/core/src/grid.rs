@@ -16,7 +16,7 @@ use crate::benchmark::Benchmark;
 use crate::config::{MeasurementConfig, OptLevel};
 use crate::exec::{self, RunOptions};
 use crate::interface::{CountingMode, Interface};
-use crate::measure::{run_measurement, Record};
+use crate::measure::{run_measurement, MeasurementSession, Record};
 use crate::pattern::Pattern;
 use crate::Result;
 
@@ -49,6 +49,12 @@ pub struct Grid {
     pub base_seed: u64,
     /// Timer frequency.
     pub hz: u32,
+    /// Boot one fresh simulated stack **per run** instead of reusing one
+    /// [`MeasurementSession`] per cell. The session path (the default) is
+    /// bit-identical and much faster; the fresh-boot path is kept as the
+    /// equivalence oracle the session path is verified against, and for
+    /// `repro bench`'s before/after comparison.
+    pub fresh_boot: bool,
 }
 
 impl Grid {
@@ -67,6 +73,7 @@ impl Grid {
             reps: 1,
             base_seed: 0x6121D,
             hz: 250,
+            fresh_boot: false,
         }
     }
 
@@ -89,6 +96,7 @@ impl Grid {
             reps,
             base_seed: 0x6121D,
             hz: 250,
+            fresh_boot: false,
         }
     }
 
@@ -162,23 +170,44 @@ impl Grid {
 
     /// Runs the whole grid with explicit [`RunOptions`].
     ///
-    /// Records come back in cell-enumeration × repetition order no matter
-    /// how many workers run them: `jobs = 1`, `jobs = N` and [`Grid::run`]
-    /// all produce byte-identical record vectors.
+    /// Work is distributed **cell-chunked**: all repetitions of a cell run
+    /// on one worker against one reused [`MeasurementSession`] (or one
+    /// fresh boot per run when [`Grid::fresh_boot`] is set). Records come
+    /// back in cell-enumeration × repetition order no matter how many
+    /// workers run them: `jobs = 1`, `jobs = N`, [`Grid::run`] and both
+    /// boot policies all produce byte-identical record vectors.
     ///
     /// # Errors
     ///
     /// Propagates the lowest-index measurement failure (see
-    /// [`exec::run_indexed`]).
+    /// [`exec::run_cell_chunked`]).
     pub fn run_with(&self, opts: &RunOptions<'_>) -> Result<Vec<Record>> {
-        self.run_with_measure(opts, run_measurement)
+        if self.fresh_boot {
+            return self.run_with_measure(opts, run_measurement);
+        }
+        let cells: Vec<MeasurementConfig> = self.cells().collect();
+        exec::run_cell_chunked(
+            cells.len(),
+            self.reps,
+            self.reps,
+            opts,
+            |ci, first_rep| self.session_for(&cells[ci], first_rep),
+            |session, i| {
+                let cell = &cells[i / self.reps];
+                let seed = per_run_seed(self.base_seed, cell, i % self.reps);
+                session.run(seed)
+            },
+        )
     }
 
     /// [`Grid::run_with`] with an injectable measurement function — the
     /// seam that lets instrumentation (and the error-propagation tests)
     /// wrap or replace [`run_measurement`] while exercising the *real*
-    /// grid plumbing: cell enumeration, per-run seeding, and the engine's
-    /// lowest-index-wins error propagation.
+    /// grid plumbing: cell enumeration, cell-chunked work distribution,
+    /// per-run seeding, and the engine's lowest-index-wins error
+    /// propagation. `measure` is called once per run, so this path boots
+    /// fresh per run by construction (it cannot reuse a session through
+    /// the closure seam).
     ///
     /// # Errors
     ///
@@ -188,14 +217,27 @@ impl Grid {
         F: Fn(&MeasurementConfig, Benchmark) -> Result<Record> + Sync,
     {
         let cells: Vec<MeasurementConfig> = self.cells().collect();
-        let total = cells.len() * self.reps;
-        exec::run_indexed(total, opts, |i| {
-            let cell = &cells[i / self.reps];
-            let rep = i % self.reps;
-            let seed = per_run_seed(self.base_seed, cell, rep);
-            let cfg = MeasurementConfig { seed, ..*cell };
-            measure(&cfg, self.benchmark)
-        })
+        exec::run_cell_chunked(
+            cells.len(),
+            self.reps,
+            self.reps,
+            opts,
+            |_, _| Ok(()),
+            |(), i| {
+                let cell = &cells[i / self.reps];
+                let rep = i % self.reps;
+                let seed = per_run_seed(self.base_seed, cell, rep);
+                let cfg = MeasurementConfig { seed, ..*cell };
+                measure(&cfg, self.benchmark)
+            },
+        )
+    }
+
+    /// A session for `cell`, booted with the seed of repetition `rep` (so
+    /// that repetition's run consumes the boot state directly).
+    fn session_for(&self, cell: &MeasurementConfig, rep: usize) -> Result<MeasurementSession> {
+        let seed = per_run_seed(self.base_seed, cell, rep);
+        MeasurementSession::new(&MeasurementConfig { seed, ..*cell }, self.benchmark)
     }
 
     /// Streams the whole grid into **one accumulator per cell** instead of
@@ -227,7 +269,24 @@ impl Grid {
         I: Fn(&MeasurementConfig) -> A + Sync,
         S: Fn(&mut A, &Record) + Sync,
     {
-        self.run_fold_with_measure(opts, init, step, run_measurement)
+        if self.fresh_boot {
+            return self.run_fold_with_measure(opts, init, step, run_measurement);
+        }
+        let cells: Vec<MeasurementConfig> = self.cells().collect();
+        let accs = exec::run_indexed(cells.len(), opts, |ci| {
+            let cell = &cells[ci];
+            let mut acc = init(cell);
+            if self.reps > 0 {
+                let mut session = self.session_for(cell, 0)?;
+                for rep in 0..self.reps {
+                    let seed = per_run_seed(self.base_seed, cell, rep);
+                    let record = session.run(seed)?;
+                    step(&mut acc, &record);
+                }
+            }
+            Ok(acc)
+        })?;
+        Ok(cells.into_iter().zip(accs).collect())
     }
 
     /// [`Grid::run_fold`] with an injectable measurement function (the
@@ -312,22 +371,57 @@ impl Grid {
         let total = cells.len() * self.reps;
         sink(crate::report::CSV_HEADER);
         let mut written = 0usize;
-        exec::run_indexed_each(
-            total,
-            opts,
-            |i| {
-                let cell = &cells[i / self.reps];
-                let rep = i % self.reps;
-                let seed = per_run_seed(self.base_seed, cell, rep);
-                let cfg = MeasurementConfig { seed, ..*cell };
-                let record = run_measurement(&cfg, self.benchmark)?;
-                Ok(crate::report::record_to_csv_line(&record))
-            },
-            |_, line| {
+        if self.fresh_boot {
+            exec::run_indexed_each(
+                total,
+                opts,
+                |i| {
+                    let cell = &cells[i / self.reps];
+                    let rep = i % self.reps;
+                    let seed = per_run_seed(self.base_seed, cell, rep);
+                    let cfg = MeasurementConfig { seed, ..*cell };
+                    let record = run_measurement(&cfg, self.benchmark)?;
+                    Ok(crate::report::record_to_csv_line(&record))
+                },
+                |_, line| {
+                    written += 1;
+                    sink(&line);
+                },
+            )?;
+            return Ok(written);
+        }
+        // Session path: bounded batches of whole cells, each cell one
+        // reused session on one worker. Lines reach the sink in the exact
+        // flat order of the batch path, holding at most one batch of
+        // `CSV_CELL_BATCH × reps` lines in memory.
+        let mut start = 0usize;
+        while start < cells.len() {
+            let len = CSV_CELL_BATCH.min(cells.len() - start);
+            let lines = exec::run_cell_chunked(
+                len,
+                self.reps,
+                self.reps,
+                &RunOptions {
+                    jobs: opts.effective_jobs(total),
+                    progress: None,
+                },
+                |c, first_rep| self.session_for(&cells[start + c], first_rep),
+                |session, i| {
+                    let cell = &cells[start + i / self.reps];
+                    let seed = per_run_seed(self.base_seed, cell, i % self.reps);
+                    let record = session.run(seed)?;
+                    Ok(crate::report::record_to_csv_line(&record))
+                },
+            )?;
+            for line in lines {
                 written += 1;
                 sink(&line);
-            },
-        )?;
+                if let Some(progress) = opts.progress {
+                    progress(written, total);
+                }
+            }
+            start += len;
+        }
         Ok(written)
     }
 }
@@ -345,24 +439,30 @@ pub struct CellSummary {
     pub accumulator: SummaryAccumulator,
 }
 
+/// Cells per batch of the streaming session CSV path: memory stays
+/// bounded at `CSV_CELL_BATCH × reps` lines while each batch still feeds
+/// every worker.
+const CSV_CELL_BATCH: usize = 256;
+
 /// Deterministic per-run seed from the base seed, the cell's identity and
-/// the repetition index.
+/// the repetition index (a [`counterlab_cpu::hash::seed_combine`] chain —
+/// the exact sequence is pinned by that module's unit tests and by the
+/// golden CSV).
 fn per_run_seed(base: u64, cell: &MeasurementConfig, rep: usize) -> u64 {
+    use counterlab_cpu::hash::seed_combine;
     let mut h = base ^ 0x9E37_79B9_7F4A_7C15;
-    let mut mix = |v: u64| {
-        h ^= v
-            .wrapping_add(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(h << 6)
-            .wrapping_add(h >> 2);
-    };
-    mix(cell.processor as u64);
-    mix(cell.interface as u64);
-    mix(cell.pattern as u64);
-    mix(cell.opt_level as u64);
-    mix(cell.counters as u64);
-    mix(u64::from(cell.tsc_on));
-    mix(cell.mode as u64);
-    mix(rep as u64);
+    for v in [
+        cell.processor as u64,
+        cell.interface as u64,
+        cell.pattern as u64,
+        cell.opt_level as u64,
+        cell.counters as u64,
+        u64::from(cell.tsc_on),
+        cell.mode as u64,
+        rep as u64,
+    ] {
+        h = seed_combine(h, v);
+    }
     h
 }
 
@@ -502,6 +602,35 @@ mod tests {
                 .unwrap();
             assert_eq!(n, g.run_count());
             assert_eq!(streamed, batch, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn session_and_fresh_boot_paths_bit_identical() {
+        // The acceptance identity at the grid level: the session engine
+        // (default) and the fresh-boot oracle produce the same records,
+        // fold results and CSV bytes at jobs 1 and 4.
+        let mut g = Grid::new(Benchmark::Null);
+        g.interfaces = vec![Interface::Pm, Interface::Pc, Interface::PHpc];
+        g.patterns = Pattern::ALL.to_vec();
+        g.modes = vec![CountingMode::User, CountingMode::UserKernel];
+        g.reps = 3;
+        let mut oracle = g.clone();
+        oracle.fresh_boot = true;
+        for jobs in [1, 4] {
+            let opts = RunOptions::with_jobs(jobs);
+            assert_eq!(g.run_with(&opts).unwrap(), oracle.run_with(&opts).unwrap());
+            let fold =
+                |grid: &Grid| grid.run_fold(&opts, |_| Vec::new(), |a: &mut Vec<i64>, r| {
+                    a.push(r.error());
+                });
+            assert_eq!(fold(&g).unwrap(), fold(&oracle).unwrap(), "jobs {jobs}");
+            let csv = |grid: &Grid| {
+                let mut s = String::new();
+                let n = grid.run_csv(&opts, |line| s.push_str(line)).unwrap();
+                (n, s)
+            };
+            assert_eq!(csv(&g), csv(&oracle), "jobs {jobs}");
         }
     }
 

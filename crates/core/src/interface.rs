@@ -175,6 +175,14 @@ pub struct AnyInterface {
     inner: Inner,
     /// Stashed events for the high-level API (configured at start).
     ph_events: Vec<PapiPreset>,
+    /// Reusable buffer for the high-level API's read/stop value arrays,
+    /// so the per-repetition hot loop performs no allocation.
+    scratch: Vec<i64>,
+    /// Reusable buffer for the (event, mode) pairs handed to the direct
+    /// libraries in [`AnyInterface::setup`] — same purpose.
+    pairs: Vec<(Event, CountMode)>,
+    /// Reusable buffer for counter-value reads — same purpose.
+    values: Vec<u64>,
 }
 
 #[derive(Debug, Clone)]
@@ -215,7 +223,42 @@ impl AnyInterface {
             which,
             inner,
             ph_events: Vec::new(),
+            scratch: Vec::new(),
+            pairs: Vec::new(),
+            values: Vec::new(),
         })
+    }
+
+    /// Returns the stack to the state a fresh [`AnyInterface::boot`] of
+    /// the same interface and processor with the given `kernel`, `tsc_on`
+    /// and `seed` would produce, reusing every allocation.
+    ///
+    /// This is the per-repetition reset of
+    /// [`crate::measure::MeasurementSession`]: within a cell only the
+    /// seed varies, so the session boots once and reseeds instead of
+    /// reconstructing the whole simulated stack. Bit-identity with a
+    /// fresh boot is locked in by the session equivalence suite.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reseed failures from the substrate crates.
+    pub fn reseed(&mut self, kernel: &KernelConfig, tsc_on: bool, seed: u64) -> Result<()> {
+        match &mut self.inner {
+            Inner::Pm(x) => x.reseed(kernel, PerfmonOptions { seed })?,
+            Inner::Pc(x) => x.reseed(kernel, PerfctrOptions { tsc_on, seed })?,
+            Inner::Low(x) => x.reseed(kernel, seed)?,
+            Inner::High(x) => x.reseed(kernel, seed)?,
+        }
+        self.ph_events.clear();
+        Ok(())
+    }
+
+    /// Fills the scratch buffer with `n` zeroes and returns it (the
+    /// high-level API's output array, without a per-call allocation).
+    fn zeroed_scratch(scratch: &mut Vec<i64>, n: usize) -> &mut [i64] {
+        scratch.clear();
+        scratch.resize(n, 0);
+        scratch
     }
 
     /// Which interface this is.
@@ -250,11 +293,12 @@ impl AnyInterface {
     ///
     /// Propagates substrate configuration errors.
     pub fn setup(&mut self, events: &[Event], mode: CountingMode) -> Result<()> {
-        let pairs: Vec<(Event, CountMode)> =
-            events.iter().map(|e| (*e, mode.to_count_mode())).collect();
+        let pairs = &mut self.pairs;
+        pairs.clear();
+        pairs.extend(events.iter().map(|e| (*e, mode.to_count_mode())));
         match &mut self.inner {
-            Inner::Pm(x) => x.write_pmcs(&pairs)?,
-            Inner::Pc(x) => x.control(&pairs)?,
+            Inner::Pm(x) => x.write_pmcs(pairs)?,
+            Inner::Pc(x) => x.control(pairs)?,
             Inner::Low(x) => {
                 x.set_domain(mode.to_domain())?;
                 for e in events {
@@ -263,7 +307,8 @@ impl AnyInterface {
             }
             Inner::High(x) => {
                 x.set_domain(mode.to_domain())?;
-                self.ph_events = events.iter().map(|e| preset_for(*e)).collect();
+                self.ph_events.clear();
+                self.ph_events.extend(events.iter().map(|e| preset_for(*e)));
             }
         }
         Ok(())
@@ -297,8 +342,8 @@ impl AnyInterface {
                 x.stop()?;
             }
             Inner::High(x) => {
-                let mut v = vec![0i64; self.ph_events.len()];
-                x.stop_counters(&mut v)?;
+                let v = Self::zeroed_scratch(&mut self.scratch, self.ph_events.len());
+                x.stop_counters(v)?;
             }
         }
         Ok(())
@@ -330,13 +375,23 @@ impl AnyInterface {
     ///
     /// Propagates substrate errors.
     pub fn read(&mut self) -> Result<u64> {
+        let values = &mut self.values;
         match &mut self.inner {
-            Inner::Pm(x) => Ok(x.read_pmds()?[0]),
-            Inner::Pc(x) => Ok(x.read_ctrs()?.pmcs[0]),
-            Inner::Low(x) => Ok(x.read()?[0]),
+            Inner::Pm(x) => {
+                x.read_pmds_into(values)?;
+                Ok(values[0])
+            }
+            Inner::Pc(x) => {
+                x.read_ctrs_into(values)?;
+                Ok(values[0])
+            }
+            Inner::Low(x) => {
+                x.read_into(values)?;
+                Ok(values[0])
+            }
             Inner::High(x) => {
-                let mut v = vec![0i64; self.ph_events.len()];
-                x.read_counters(&mut v)?;
+                let v = Self::zeroed_scratch(&mut self.scratch, self.ph_events.len());
+                x.read_counters(v)?;
                 Ok(v[0] as u64)
             }
         }
@@ -351,12 +406,16 @@ impl AnyInterface {
     pub fn stop_read(&mut self) -> Result<u64> {
         match &mut self.inner {
             Inner::High(x) => {
-                let mut v = vec![0i64; self.ph_events.len()];
-                x.stop_counters(&mut v)?;
+                let v = Self::zeroed_scratch(&mut self.scratch, self.ph_events.len());
+                x.stop_counters(v)?;
                 Ok(v[0] as u64)
             }
             // PAPI_stop returns the final values itself.
-            Inner::Low(x) => Ok(x.stop()?[0]),
+            Inner::Low(x) => {
+                let values = &mut self.values;
+                x.stop_into(values)?;
+                Ok(values[0])
+            }
             _ => {
                 self.stop()?;
                 self.read()

@@ -20,6 +20,9 @@
 pub struct BranchTargetBuffer {
     sets: Vec<Vec<u64>>,
     ways: usize,
+    /// Indices of sets holding at least one entry, so
+    /// [`BranchTargetBuffer::reset`] clears only what was touched.
+    touched: Vec<usize>,
 }
 
 impl BranchTargetBuffer {
@@ -34,7 +37,18 @@ impl BranchTargetBuffer {
         BranchTargetBuffer {
             sets: vec![Vec::with_capacity(ways); sets],
             ways,
+            touched: Vec::new(),
         }
+    }
+
+    /// Empties every set, returning the BTB to its cold post-boot state
+    /// while keeping all allocations (the reuse path of measurement
+    /// sessions).
+    pub fn reset(&mut self) {
+        for &idx in &self.touched {
+            self.sets[idx].clear();
+        }
+        self.touched.clear();
     }
 
     /// Number of sets.
@@ -64,6 +78,9 @@ impl BranchTargetBuffer {
             set.push(a);
             true
         } else {
+            if set.is_empty() {
+                self.touched.push(idx);
+            }
             if set.len() == self.ways {
                 set.remove(0); // evict LRU
             }

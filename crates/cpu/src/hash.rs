@@ -1,0 +1,78 @@
+//! Shared deterministic mixing functions.
+//!
+//! Several layers derive pseudo-random-but-reproducible values from
+//! integers: the machine model places environment branches from a loop's
+//! base address, and the experiment grid derives per-run seeds from a
+//! cell's identity. Both used to carry private copies of these mixers;
+//! this module is the single definition, with the exact output sequences
+//! pinned by unit tests so no caller can drift.
+
+/// SplitMix64 finalizer: a high-quality 64-bit mixing function
+/// (Steele et al., *Fast splittable pseudorandom number generators*).
+///
+/// # Examples
+///
+/// ```
+/// use counterlab_cpu::hash::splitmix64;
+///
+/// // Deterministic, and nearby inputs land far apart.
+/// assert_eq!(splitmix64(1), splitmix64(1));
+/// assert_ne!(splitmix64(1), splitmix64(2));
+/// ```
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Boost-style `hash_combine` step over `u64`: folds `value` into the
+/// running state `state` and returns the new state.
+///
+/// This is the seed-derivation combiner of the experiment grid
+/// (`per_run_seed`): feed the base seed as the initial state and combine
+/// each component of a run's identity in a fixed order.
+pub fn seed_combine(state: u64, value: u64) -> u64 {
+    state
+        ^ value
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(state << 6)
+            .wrapping_add(state >> 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The exact output values are load-bearing: `splitmix64` places the
+    /// machine model's environment branches and `seed_combine` derives
+    /// every per-run measurement seed, so a change to either silently
+    /// reshuffles all simulated results (and breaks the pinned golden
+    /// CSV). These constants pin the current sequences.
+    #[test]
+    fn splitmix64_pinned_values() {
+        assert_eq!(splitmix64(0), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(splitmix64(1), 0x910A_2DEC_8902_5CC1);
+        assert_eq!(splitmix64(0x0804_9000), 0xAED0_CD89_E9C7_1D86);
+    }
+
+    #[test]
+    fn seed_combine_pinned_values() {
+        assert_eq!(seed_combine(0, 0), 0x9E37_79B9_7F4A_7C15);
+        let h = seed_combine(0x6121D ^ 0x9E37_79B9_7F4A_7C15, 2);
+        assert_eq!(h, 0xCD94_BF3E_CD75_7791);
+    }
+
+    #[test]
+    fn seed_combine_order_sensitive() {
+        let a = seed_combine(seed_combine(1, 2), 3);
+        let b = seed_combine(seed_combine(1, 3), 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn splitmix64_spreads_sequential_inputs() {
+        let outs: std::collections::HashSet<u64> = (0..1000).map(splitmix64).collect();
+        assert_eq!(outs.len(), 1000);
+    }
+}

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod branch;
+pub mod hash;
 pub mod icache;
 pub mod layout;
 pub mod machine;

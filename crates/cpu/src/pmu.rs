@@ -193,6 +193,11 @@ pub struct Pmu {
     uarch: &'static Uarch,
     pmc_values: Vec<u64>,
     pmc_configs: Vec<Option<PmcConfig>>,
+    /// Indices of programmed counters, ascending. [`Pmu::commit`] runs on
+    /// every retired instruction mix, so it walks this short list instead
+    /// of scanning all slots (the Pentium D has 18, rarely more than 4 of
+    /// which are in use).
+    programmed: Vec<usize>,
     fixed_values: Vec<u64>,
     fixed_configs: Vec<Option<CountMode>>,
     tsc: u64,
@@ -206,9 +211,33 @@ impl Pmu {
             uarch,
             pmc_values: vec![0; uarch.programmable_counters],
             pmc_configs: vec![None; uarch.programmable_counters],
+            programmed: Vec::new(),
             fixed_values: vec![0; uarch.fixed_counters],
             fixed_configs: vec![None; uarch.fixed_counters],
             tsc: 0,
+        }
+    }
+
+    /// Returns the PMU to its power-on state — all counters deprogrammed
+    /// and zeroed, TSC at zero — while keeping the allocations
+    /// (the reuse path of measurement sessions). Equivalent to
+    /// [`Pmu::new`] with the same micro-architecture.
+    pub fn reset(&mut self) {
+        for &idx in &self.programmed {
+            self.pmc_configs[idx] = None;
+        }
+        self.programmed.clear();
+        self.pmc_values.fill(0);
+        self.fixed_values.fill(0);
+        self.fixed_configs.fill(None);
+        self.tsc = 0;
+    }
+
+    /// Records `index` in the programmed-counter list (ascending, no
+    /// duplicates).
+    fn note_programmed(&mut self, index: usize) {
+        if let Err(pos) = self.programmed.binary_search(&index) {
+            self.programmed.insert(pos, index);
         }
     }
 
@@ -245,6 +274,7 @@ impl Pmu {
         }
         self.pmc_configs[index] = Some(config);
         self.pmc_values[index] = 0;
+        self.note_programmed(index);
         Ok(index)
     }
 
@@ -264,6 +294,7 @@ impl Pmu {
             });
         }
         self.pmc_configs[index] = Some(config);
+        self.note_programmed(index);
         Ok(index)
     }
 
@@ -275,6 +306,9 @@ impl Pmu {
     pub fn deprogram(&mut self, index: usize) -> Result<()> {
         self.check_pmc(index)?;
         self.pmc_configs[index] = None;
+        if let Ok(pos) = self.programmed.binary_search(&index) {
+            self.programmed.remove(pos);
+        }
         Ok(())
     }
 
@@ -437,11 +471,10 @@ impl Pmu {
     /// its event's delta. The TSC advances by the delta's cycles regardless
     /// of privilege.
     pub fn commit(&mut self, delta: &EventDelta, privilege: Privilege) {
-        for (value, config) in self.pmc_values.iter_mut().zip(&self.pmc_configs) {
-            if let Some(cfg) = config {
-                if cfg.enabled && cfg.mode.counts(privilege) {
-                    *value += delta.count(cfg.event);
-                }
+        for &idx in &self.programmed {
+            let cfg = self.pmc_configs[idx].expect("programmed list tracks Some configs");
+            if cfg.enabled && cfg.mode.counts(privilege) {
+                self.pmc_values[idx] += delta.count(cfg.event);
             }
         }
         for (i, (value, config)) in self

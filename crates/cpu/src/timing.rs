@@ -93,7 +93,17 @@ impl std::fmt::Display for CyclesPerIteration {
 /// cost on the order of a hundred cycles — §2.2).
 pub fn straight_cycles(uarch: &Uarch, mix: &InstMix) -> u64 {
     let plain = mix.alu + mix.branches + mix.loads + mix.stores;
-    let base = (plain * 100).div_ceil(uarch.ipc_times_100);
+    // One `div_ceil` per retired mix makes this the hottest division in
+    // the simulator; dispatching on the three shipped IPC constants lets
+    // the compiler strength-reduce each to a multiply (identical
+    // quotients), with the generic division kept for custom `Uarch`s.
+    let n = plain * 100;
+    let base = match uarch.ipc_times_100 {
+        150 => n.div_ceil(150),
+        220 => n.div_ceil(220),
+        250 => n.div_ceil(250),
+        d => n.div_ceil(d),
+    };
     base + mix.rdpmc * uarch.rdpmc_cycles
         + mix.rdtsc * uarch.rdtsc_cycles
         + (mix.rdmsr + mix.wrmsr) * uarch.msr_access_cycles

@@ -89,6 +89,17 @@ impl ThreadTable {
         self.current
     }
 
+    /// Returns the table to its boot state — only the initial thread
+    /// (tid 0, named `main`) with no saved counters — while keeping the
+    /// allocations. Equivalent to [`ThreadTable::new`].
+    pub fn reset(&mut self) {
+        self.threads.truncate(1);
+        let main = &mut self.threads[0];
+        main.saved_counters = None;
+        main.user_instructions = 0;
+        self.current = ThreadId(0);
+    }
+
     /// Creates a new thread and returns its id.
     pub fn spawn(&mut self, name: impl Into<String>) -> ThreadId {
         let id = ThreadId(self.threads.len() as u32);

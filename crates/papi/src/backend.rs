@@ -5,6 +5,7 @@
 //! kernel extensions while preserving each extension's cost behaviour.
 
 use counterlab_cpu::pmu::{CountMode, Event};
+use counterlab_kernel::config::KernelConfig;
 use counterlab_kernel::system::System;
 use counterlab_perfctr::{Perfctr, PerfctrOptions};
 use counterlab_perfmon::{Perfmon, PerfmonOptions};
@@ -57,6 +58,25 @@ impl Backend {
                 sys,
                 PerfmonOptions { seed },
             )?)),
+        }
+    }
+
+    /// Returns the substrate to the state a fresh [`Backend::attach`]
+    /// with the same kind and the given `kernel`/`seed` would produce,
+    /// reusing the booted system's allocations (the measurement-session
+    /// reuse path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates extension reseed failures.
+    pub fn reseed(&mut self, kernel: &KernelConfig, seed: u64) -> Result<()> {
+        match self {
+            Backend::Perfctr(pc) => pc
+                .reseed(kernel, PerfctrOptions { tsc_on: true, seed })
+                .map_err(PapiError::from),
+            Backend::Perfmon(pm) => pm
+                .reseed(kernel, PerfmonOptions { seed })
+                .map_err(PapiError::from),
         }
     }
 
@@ -122,9 +142,25 @@ impl Backend {
     ///
     /// Propagates extension errors.
     pub fn read(&mut self) -> Result<Vec<u64>> {
+        let mut v = Vec::new();
+        self.read_into(&mut v)?;
+        Ok(v)
+    }
+
+    /// [`Backend::read`] into a caller-owned buffer (cleared first): the
+    /// allocation-free variant for measurement hot loops; the simulated
+    /// call path is identical.
+    ///
+    /// # Errors
+    ///
+    /// Propagates extension errors.
+    pub fn read_into(&mut self, out: &mut Vec<u64>) -> Result<()> {
         match self {
-            Backend::Perfctr(pc) => Ok(pc.read_ctrs()?.pmcs),
-            Backend::Perfmon(pm) => pm.read_pmds().map_err(PapiError::from),
+            Backend::Perfctr(pc) => {
+                pc.read_ctrs_into(out)?;
+                Ok(())
+            }
+            Backend::Perfmon(pm) => pm.read_pmds_into(out).map_err(PapiError::from),
         }
     }
 

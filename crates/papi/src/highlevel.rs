@@ -86,6 +86,28 @@ impl PapiHighLevel {
         })
     }
 
+    /// Returns the interface to the state a fresh
+    /// [`PapiHighLevel::attach`] with the given `kernel`/`seed` would
+    /// produce, reusing the booted system's allocations (the
+    /// measurement-session reuse path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate reseed failures.
+    pub fn reseed(
+        &mut self,
+        kernel: &counterlab_kernel::config::KernelConfig,
+        seed: u64,
+    ) -> Result<()> {
+        self.backend.reseed(kernel, seed)?;
+        // PAPI_library_init (implicit in the first high-level call).
+        self.backend.system_mut().run_user_mix(&user_code_mix(600));
+        self.events.clear();
+        self.domain = PapiDomain::default();
+        self.running = false;
+        Ok(())
+    }
+
     /// Which substrate this build uses.
     pub fn backend_kind(&self) -> BackendKind {
         self.backend.kind()

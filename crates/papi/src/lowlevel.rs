@@ -94,6 +94,31 @@ impl PapiLowLevel {
         })
     }
 
+    /// Returns the interface to the state a fresh
+    /// [`PapiLowLevel::attach`] with the given `kernel`/`seed` would
+    /// produce, reusing the booted system's allocations. Replays the
+    /// substrate attach and the `PAPI_library_init` work, so the handle
+    /// is bit-identical to a fresh boot (the measurement-session reuse
+    /// path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate reseed failures.
+    pub fn reseed(
+        &mut self,
+        kernel: &counterlab_kernel::config::KernelConfig,
+        seed: u64,
+    ) -> Result<()> {
+        self.backend.reseed(kernel, seed)?;
+        // PAPI_library_init: component discovery, preset table setup.
+        self.backend.system_mut().run_user_mix(&user_code_mix(600));
+        self.events.clear();
+        self.domain = PapiDomain::default();
+        self.state = EventSetState::Stopped;
+        self.configured = false;
+        Ok(())
+    }
+
     /// Which substrate this build uses.
     pub fn backend_kind(&self) -> BackendKind {
         self.backend.kind()
@@ -189,6 +214,19 @@ impl PapiLowLevel {
     ///
     /// [`PapiError::InvalidState`] unless running.
     pub fn read(&mut self) -> Result<Vec<u64>> {
+        let mut values = Vec::with_capacity(self.events.len());
+        self.read_into(&mut values)?;
+        Ok(values)
+    }
+
+    /// [`PapiLowLevel::read`] into a caller-owned buffer (cleared first):
+    /// the allocation-free variant for measurement hot loops; the
+    /// simulated call path is identical.
+    ///
+    /// # Errors
+    ///
+    /// As [`PapiLowLevel::read`].
+    pub fn read_into(&mut self, out: &mut Vec<u64>) -> Result<()> {
         if self.state != EventSetState::Running {
             return Err(PapiError::InvalidState {
                 operation: "PAPI_read",
@@ -196,9 +234,9 @@ impl PapiLowLevel {
             });
         }
         self.wrap_pre();
-        let values = self.backend.read()?;
+        self.backend.read_into(out)?;
         self.wrap_post();
-        Ok(values)
+        Ok(())
     }
 
     /// `PAPI_accum`: adds the counters into `values` and resets them.
@@ -236,6 +274,19 @@ impl PapiLowLevel {
     ///
     /// [`PapiError::InvalidState`] unless running.
     pub fn stop(&mut self) -> Result<Vec<u64>> {
+        let mut values = Vec::with_capacity(self.events.len());
+        self.stop_into(&mut values)?;
+        Ok(values)
+    }
+
+    /// [`PapiLowLevel::stop`] into a caller-owned buffer (cleared first):
+    /// the allocation-free variant for measurement hot loops; the
+    /// simulated call path is identical.
+    ///
+    /// # Errors
+    ///
+    /// As [`PapiLowLevel::stop`].
+    pub fn stop_into(&mut self, out: &mut Vec<u64>) -> Result<()> {
         if self.state != EventSetState::Running {
             return Err(PapiError::InvalidState {
                 operation: "PAPI_stop",
@@ -244,10 +295,10 @@ impl PapiLowLevel {
         }
         self.wrap_pre();
         self.backend.stop()?;
-        let values = self.backend.read()?;
+        self.backend.read_into(out)?;
         self.wrap_post();
         self.state = EventSetState::Stopped;
-        Ok(values)
+        Ok(())
     }
 
     /// `PAPI_reset`: zeroes the event set's counters.
@@ -331,6 +382,37 @@ mod tests {
         ));
         papi.stop().unwrap();
         assert!(matches!(papi.read(), Err(PapiError::InvalidState { .. })));
+    }
+
+    #[test]
+    fn reseed_matches_fresh_boot() {
+        let lifecycle = |papi: &mut PapiLowLevel| {
+            papi.set_domain(PapiDomain::All).unwrap();
+            papi.add_event(PapiPreset::PAPI_TOT_INS).unwrap();
+            papi.start().unwrap();
+            let v0 = papi.read().unwrap();
+            let v1 = papi.read().unwrap();
+            (v0, v1, papi.system().machine().cycle())
+        };
+        for kind in [BackendKind::Perfctr, BackendKind::Perfmon] {
+            let kernel = counterlab_kernel::config::KernelConfig::default();
+            let mut fresh =
+                PapiLowLevel::boot(kind, Processor::AthlonK8, kernel.clone(), 11).unwrap();
+            let expected = lifecycle(&mut fresh);
+
+            let mut reused = PapiLowLevel::boot(
+                kind,
+                Processor::AthlonK8,
+                kernel.clone().with_seed(5),
+                77,
+            )
+            .unwrap();
+            let _ = lifecycle(&mut reused);
+            reused.reseed(&kernel, 11).unwrap();
+            assert_eq!(reused.state(), EventSetState::Stopped);
+            assert!(reused.events().is_empty());
+            assert_eq!(lifecycle(&mut reused), expected, "{kind:?}");
+        }
     }
 
     #[test]

@@ -131,6 +131,41 @@ impl Perfctr {
         })
     }
 
+    /// Returns the handle to the state a fresh [`Perfctr::boot`] with the
+    /// same processor and the given `kernel`/`options` would produce,
+    /// reusing the booted system's allocations.
+    ///
+    /// This replays [`Perfctr::attach`] — extension tick hook, jittered
+    /// open syscall, `CR4.PCE` enable — on the reseeded system, so the
+    /// handle is bit-identical to a fresh boot (the measurement-session
+    /// reuse path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates CPU faults from the open syscall.
+    pub fn reseed(&mut self, kernel: &KernelConfig, options: PerfctrOptions) -> Result<()> {
+        self.sys.reseed(kernel);
+        self.sys.set_tick_extension_extra(self.costs.tick_extra);
+        let mut rng = StdRng::seed_from_u64(options.seed);
+        let path = jittered(&self.costs.open, &self.costs, &mut rng);
+        lib_syscall(
+            &mut self.sys,
+            path.wrapper_pre,
+            path.handler_pre,
+            path.handler_post,
+            path.wrapper_post,
+            |m| {
+                m.set_cr4_pce(true)?;
+                Ok(())
+            },
+        )?;
+        self.rng = rng;
+        self.tsc_on = options.tsc_on;
+        self.events.clear();
+        self.running = false;
+        Ok(())
+    }
+
     /// The underlying system (to run benchmark code between counter calls).
     pub fn system(&self) -> &System {
         &self.sys
@@ -182,7 +217,6 @@ impl Perfctr {
             });
         }
         let path = jittered(&self.costs.control, &self.costs, &mut self.rng);
-        let evs = events.to_vec();
         lib_syscall(
             &mut self.sys,
             path.wrapper_pre,
@@ -190,13 +224,14 @@ impl Perfctr {
             path.handler_post,
             path.wrapper_post,
             |m| {
-                for (i, (event, mode)) in evs.iter().enumerate() {
+                for (i, (event, mode)) in events.iter().enumerate() {
                     m.pmu_mut().program(i, PmcConfig::disabled(*event, *mode))?;
                 }
                 Ok(())
             },
         )?;
-        self.events = events.to_vec();
+        self.events.clear();
+        self.events.extend_from_slice(events);
         self.running = false;
         Ok(())
     }
@@ -308,17 +343,32 @@ impl Perfctr {
     /// [`PerfctrError::NotConfigured`] without configuration; CPU faults
     /// propagate.
     pub fn read_ctrs(&mut self) -> Result<CounterSample> {
+        let mut pmcs = Vec::with_capacity(self.events.len());
+        let tsc = self.read_ctrs_into(&mut pmcs)?;
+        Ok(CounterSample { pmcs, tsc })
+    }
+
+    /// [`Perfctr::read_ctrs`] into a caller-owned buffer (cleared first),
+    /// returning the TSC sample when the fast path took one: the
+    /// allocation-free variant for measurement hot loops. The simulated
+    /// call path is identical.
+    ///
+    /// # Errors
+    ///
+    /// As [`Perfctr::read_ctrs`].
+    pub fn read_ctrs_into(&mut self, pmcs: &mut Vec<u64>) -> Result<Option<u64>> {
         if self.events.is_empty() {
             return Err(PerfctrError::NotConfigured);
         }
+        pmcs.clear();
         if self.tsc_on {
-            self.fast_read()
+            self.fast_read(pmcs).map(Some)
         } else {
-            self.slow_read()
+            self.slow_read(pmcs).map(|()| None)
         }
     }
 
-    fn fast_read(&mut self) -> Result<CounterSample> {
+    fn fast_read(&mut self, pmcs: &mut Vec<u64>) -> Result<u64> {
         let n = self.events.len() as u64;
         let uj = self.rng.gen_range(0..=self.costs.user_jitter);
         let pre = self.costs.fast_read.wrapper_pre
@@ -334,7 +384,6 @@ impl Perfctr {
         self.sys
             .run_user_mix(&counterlab_cpu::mix::MixBuilder::new().rdtsc(1).build());
         // Capture of the measured counter.
-        let mut pmcs = Vec::with_capacity(count);
         pmcs.push(self.sys.machine().rdpmc(0)?);
         // Remaining counters: each costs rdpmc + accumulate instructions
         // that land after the measured counter's capture.
@@ -353,33 +402,29 @@ impl Perfctr {
             .stores(2)
             .build();
         self.sys.run_user_mix(&post_mix);
-        Ok(CounterSample {
-            pmcs,
-            tsc: Some(tsc),
-        })
+        Ok(tsc)
     }
 
-    fn slow_read(&mut self) -> Result<CounterSample> {
+    fn slow_read(&mut self, pmcs: &mut Vec<u64>) -> Result<()> {
         let n = self.events.len() as u64;
         let mut path = jittered(&self.costs.slow_read, &self.costs, &mut self.rng);
         path.handler_pre += self.costs.slow_read_per_counter * (n - 1);
         path.handler_post += self.costs.slow_read_per_counter * (n - 1);
         let count = self.events.len();
-        let pmcs = lib_syscall(
+        lib_syscall(
             &mut self.sys,
             path.wrapper_pre,
             path.handler_pre,
             path.handler_post,
             path.wrapper_post,
             |m| {
-                let mut v = Vec::with_capacity(count);
                 for i in 0..count {
-                    v.push(m.pmu().read_pmc(i)?);
+                    pmcs.push(m.pmu().read_pmc(i)?);
                 }
-                Ok(v)
+                Ok(())
             },
         )?;
-        Ok(CounterSample { pmcs, tsc: None })
+        Ok(())
     }
 }
 
@@ -605,6 +650,40 @@ mod tests {
         // tail and read-pre window count.
         let v = pc.read_ctrs().unwrap().pmcs[0];
         assert!(v < 1_500, "post-reset value = {v}");
+    }
+
+    #[test]
+    fn reseed_matches_fresh_boot() {
+        let lifecycle = |pc: &mut Perfctr| {
+            pc.control(&[(Event::InstructionsRetired, CountMode::UserAndKernel)])
+                .unwrap();
+            pc.start().unwrap();
+            let c0 = pc.read_ctrs().unwrap();
+            let c1 = pc.read_ctrs().unwrap();
+            (c0, c1, pc.system().machine().cycle())
+        };
+        for (tsc_on, seed) in [(true, 7u64), (false, 7), (true, 99)] {
+            let options = PerfctrOptions { tsc_on, seed };
+            let mut fresh =
+                Perfctr::boot(Processor::AthlonK8, KernelConfig::default(), options).unwrap();
+            let expected = lifecycle(&mut fresh);
+
+            // Dirty a handle booted under different options, then reseed.
+            let mut reused = Perfctr::boot(
+                Processor::AthlonK8,
+                KernelConfig::default().with_seed(1),
+                PerfctrOptions {
+                    tsc_on: !tsc_on,
+                    seed: seed ^ 0xAB,
+                },
+            )
+            .unwrap();
+            let _ = lifecycle(&mut reused);
+            reused.reseed(&KernelConfig::default(), options).unwrap();
+            assert!(!reused.is_running());
+            assert_eq!(reused.counter_count(), 0);
+            assert_eq!(lifecycle(&mut reused), expected, "tsc={tsc_on} seed={seed}");
+        }
     }
 
     #[test]

@@ -107,6 +107,36 @@ impl Perfmon {
         })
     }
 
+    /// Returns the context to the state a fresh [`Perfmon::boot`] with
+    /// the same processor and the given `kernel`/`options` would produce,
+    /// reusing the booted system's allocations.
+    ///
+    /// Replays [`Perfmon::attach`] — tick hook, jittered context-create
+    /// syscall — on the reseeded system, so the context is bit-identical
+    /// to a fresh boot (the measurement-session reuse path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel faults from context creation.
+    pub fn reseed(&mut self, kernel: &KernelConfig, options: PerfmonOptions) -> Result<()> {
+        self.sys.reseed(kernel);
+        self.sys.set_tick_extension_extra(self.costs.tick_extra);
+        let mut rng = StdRng::seed_from_u64(options.seed);
+        let path = jittered(&self.costs.create_context, &self.costs, &mut rng);
+        lib_syscall(
+            &mut self.sys,
+            path.wrapper_pre,
+            path.handler_pre,
+            path.handler_post,
+            path.wrapper_post,
+            |_| Ok(()),
+        )?;
+        self.rng = rng;
+        self.events.clear();
+        self.running = false;
+        Ok(())
+    }
+
     /// The underlying system.
     pub fn system(&self) -> &System {
         &self.sys
@@ -152,7 +182,6 @@ impl Perfmon {
             });
         }
         let path = jittered(&self.costs.program, &self.costs, &mut self.rng);
-        let evs = events.to_vec();
         lib_syscall(
             &mut self.sys,
             path.wrapper_pre,
@@ -160,13 +189,14 @@ impl Perfmon {
             path.handler_post,
             path.wrapper_post,
             |m| {
-                for (i, (event, mode)) in evs.iter().enumerate() {
+                for (i, (event, mode)) in events.iter().enumerate() {
                     m.pmu_mut().program(i, PmcConfig::disabled(*event, *mode))?;
                 }
                 Ok(())
             },
         )?;
-        self.events = events.to_vec();
+        self.events.clear();
+        self.events.extend_from_slice(events);
         self.running = false;
         Ok(())
     }
@@ -245,6 +275,19 @@ impl Perfmon {
     ///
     /// [`PerfmonError::NotProgrammed`] without programming.
     pub fn read_pmds(&mut self) -> Result<Vec<u64>> {
+        let mut values = Vec::with_capacity(self.events.len());
+        self.read_pmds_into(&mut values)?;
+        Ok(values)
+    }
+
+    /// [`Perfmon::read_pmds`] into a caller-owned buffer (cleared first):
+    /// the allocation-free variant for measurement hot loops. The
+    /// simulated call path is identical.
+    ///
+    /// # Errors
+    ///
+    /// As [`Perfmon::read_pmds`].
+    pub fn read_pmds_into(&mut self, out: &mut Vec<u64>) -> Result<()> {
         if self.events.is_empty() {
             return Err(PerfmonError::NotProgrammed);
         }
@@ -253,21 +296,21 @@ impl Perfmon {
         path.handler_pre += self.costs.read_per_counter * (n - 1);
         path.handler_post += self.costs.read_per_counter * (n - 1);
         let count = self.events.len();
-        let values = lib_syscall(
+        out.clear();
+        lib_syscall(
             &mut self.sys,
             path.wrapper_pre,
             path.handler_pre,
             path.handler_post,
             path.wrapper_post,
             |m| {
-                let mut v = Vec::with_capacity(count);
                 for i in 0..count {
-                    v.push(m.pmu().read_pmc(i)?);
+                    out.push(m.pmu().read_pmc(i)?);
                 }
-                Ok(v)
+                Ok(())
             },
         )?;
-        Ok(values)
+        Ok(())
     }
 
     /// Zeroes the PMD values (a `pfm_write_pmds` with zero values).
@@ -492,6 +535,36 @@ mod tests {
         let measured = c1 - c0;
         assert!(measured >= 50_000);
         assert!(measured < 50_100, "measured = {measured}");
+    }
+
+    #[test]
+    fn reseed_matches_fresh_boot() {
+        let lifecycle = |pm: &mut Perfmon| {
+            pm.write_pmcs(&[(Event::InstructionsRetired, CountMode::UserAndKernel)])
+                .unwrap();
+            pm.start().unwrap();
+            let c0 = pm.read_pmds().unwrap();
+            let c1 = pm.read_pmds().unwrap();
+            (c0, c1, pm.system().machine().cycle())
+        };
+        for seed in [3u64, 0xFEED] {
+            let options = PerfmonOptions { seed };
+            let mut fresh =
+                Perfmon::boot(Processor::Core2Duo, KernelConfig::default(), options).unwrap();
+            let expected = lifecycle(&mut fresh);
+
+            let mut reused = Perfmon::boot(
+                Processor::Core2Duo,
+                KernelConfig::default().with_seed(9),
+                PerfmonOptions { seed: seed ^ 0xCD },
+            )
+            .unwrap();
+            let _ = lifecycle(&mut reused);
+            reused.reseed(&KernelConfig::default(), options).unwrap();
+            assert!(!reused.is_running());
+            assert_eq!(reused.counter_count(), 0);
+            assert_eq!(lifecycle(&mut reused), expected, "seed {seed}");
+        }
     }
 
     #[test]

@@ -127,7 +127,15 @@ macro_rules! impl_sample_uniform_uint {
                     .wrapping_sub(lo as u128)
                     .wrapping_add(inclusive as u128);
                 assert!(span > 0, "cannot sample empty range {lo}..{hi}");
-                lo.wrapping_add((rng.next_u64() as u128 % span) as $t)
+                // Fast path: spans that fit in u64 (everything except the
+                // full inclusive u64 domain) reduce with a 64-bit modulo,
+                // which is what the simulator's jitter draws hit on every
+                // library call. Identical values to the u128 reduction.
+                if let Ok(span64) = u64::try_from(span) {
+                    lo.wrapping_add((rng.next_u64() % span64) as $t)
+                } else {
+                    lo.wrapping_add((rng.next_u64() as u128 % span) as $t)
+                }
             }
         }
     )*};
