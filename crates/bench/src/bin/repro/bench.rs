@@ -14,8 +14,15 @@
 //!    documents that the session path does not regress sim-heavy sweeps.
 //! 3. **`csv_stream`** — the streaming CSV export of the full null grid,
 //!    both boot policies, outputs checksum-compared.
+//! 4. **`served_grid`** (`--served`) — the same null grid requested from
+//!    an in-process countd ([`counterlab::serve`]): one cold request
+//!    (all cells computed, cache filled) and the best of three warm
+//!    requests (all cells served from the content-addressed cache). The
+//!    served bytes are asserted identical to the local fresh-boot
+//!    encoding before any number is reported; `warm_speedup_vs_fresh`
+//!    documents the cache-hit throughput against local recompute.
 //!
-//! Results are written as machine-readable JSON (`BENCH_5.json` by
+//! Results are written as machine-readable JSON (`BENCH_6.json` by
 //! default; `--json PATH` overrides) so CI can archive one artifact per
 //! PR and the perf trajectory accumulates. Allocation counts per run come
 //! from a counting global allocator and document the hot-loop hoisting:
@@ -128,7 +135,13 @@ fn fnv1a(hash: &mut u64, bytes: &[u8]) {
 /// Measurement failures, an equivalence mismatch between the boot
 /// policies, and JSON write failures are reported as strings (the CLI's
 /// error convention).
-pub fn run(scale_name: &str, scale: Scale, jobs: usize, json_path: &Path) -> Result<(), String> {
+pub fn run(
+    scale_name: &str,
+    scale: Scale,
+    jobs: usize,
+    json_path: &Path,
+    served: bool,
+) -> Result<(), String> {
     let opts = RunOptions::with_jobs(jobs);
     let err = |e: counterlab::CoreError| e.to_string();
     let mut workloads = Vec::new();
@@ -152,6 +165,15 @@ pub fn run(scale_name: &str, scale: Scale, jobs: usize, json_path: &Path) -> Res
     if fresh_records != session_records {
         return Err("bench: session records diverged from fresh-boot records".into());
     }
+    // The wire encoding of the fresh run is the byte-identity oracle for
+    // the served workload below.
+    let local_body = served.then(|| {
+        let mut body = String::with_capacity(fresh_records.len() * 48);
+        for record in &fresh_records {
+            body.push_str(&counterlab::wire::encode_record(record));
+        }
+        body
+    });
     drop((fresh_records, session_records));
     let speedup = session.runs_per_sec / fresh.runs_per_sec;
     eprintln!(
@@ -218,8 +240,67 @@ pub fn run(scale_name: &str, scale: Scale, jobs: usize, json_path: &Path) -> Res
         csv_session.json()
     ));
 
+    // 4. (--served) The null grid over countd: cold fill, warm cache hits.
+    if let Some(local_body) = local_body {
+        use counterlab::exec::Priority;
+        use counterlab::serve::{self, ServeConfig, Server};
+        grid.fresh_boot = true;
+        eprintln!("bench: served_grid ({runs} runs over countd, memory cache)");
+        let server = Server::spawn(ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: jobs,
+            ..ServeConfig::default()
+        })
+        .map_err(err)?;
+        let addr = server.addr().to_string();
+        let (cold_result, cold) =
+            timed(runs, || serve::request_grid_raw(&addr, &grid, Priority::Bulk));
+        let (cold_meta, cold_body) = cold_result.map_err(err)?;
+        if cold_meta.misses != cells {
+            return Err(format!(
+                "bench: expected a cold cache, got {} hits",
+                cold_meta.hits
+            ));
+        }
+        if cold_body != local_body {
+            return Err("bench: served records diverged from the local run".into());
+        }
+        let mut warm: Option<Pass> = None;
+        for _ in 0..3 {
+            let (result, pass) = timed(runs, || {
+                serve::request_grid_raw(&addr, &grid, Priority::Interactive)
+            });
+            let (meta, body) = result.map_err(err)?;
+            if meta.hits != cells {
+                return Err("bench: warm request missed the cache".into());
+            }
+            if body != local_body {
+                return Err("bench: cached records diverged from the local run".into());
+            }
+            if warm
+                .as_ref()
+                .is_none_or(|best| pass.runs_per_sec > best.runs_per_sec)
+            {
+                warm = Some(pass);
+            }
+        }
+        let warm = warm.expect("three warm passes");
+        let warm_speedup = warm.runs_per_sec / fresh.runs_per_sec;
+        eprintln!(
+            "bench: served_grid cold {:.0} runs/s, warm {:.0} runs/s \
+             ({warm_speedup:.1}x vs local fresh recompute)",
+            cold.runs_per_sec, warm.runs_per_sec
+        );
+        workloads.push(format!(
+            "    {{\"name\": \"served_grid\", \"cells\": {cells}, \"reps\": {reps}, \
+             \"cold\": {}, \"warm\": {}, \"warm_speedup_vs_fresh\": {warm_speedup:.1}}}",
+            cold.json(),
+            warm.json()
+        ));
+    }
+
     let json = format!(
-        "{{\n  \"bench\": \"counterlab repro bench\",\n  \"pr\": 5,\n  \"schema\": 1,\n  \
+        "{{\n  \"bench\": \"counterlab repro bench\",\n  \"pr\": 6,\n  \"schema\": 1,\n  \
          \"scale\": \"{scale_name}\",\n  \"jobs\": {},\n  \
          \"note\": \"fresh = one stack boot per run (the equivalence oracle; performance-\
          equivalent to the pre-PR engine within noise); session = boot once per cell, \

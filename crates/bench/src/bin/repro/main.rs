@@ -12,11 +12,13 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use counterlab::exec::RunOptions;
+use counterlab::exec::{Priority, RunOptions};
 use counterlab::experiment::{
     ablation_owner, registry, suggest, ConsoleSink, EngineMode, ExperimentCtx, Scale,
 };
+use counterlab::grid::Grid;
 use counterlab::report;
+use counterlab::serve::{self, CacheConfig, ServeConfig, Server};
 
 mod bench;
 
@@ -35,10 +37,18 @@ fn main() -> ExitCode {
 const ALL: &str = "all";
 const LIST: &str = "list";
 const BENCH: &str = "bench";
+const SERVE: &str = "serve";
+const CLIENT: &str = "client";
+
+/// Actions `repro client` understands.
+const CLIENT_ACTIONS: [&str; 4] = ["grid", "stats", "ping", "shutdown"];
+
+/// Default address `repro serve` binds and `repro client` dials.
+const DEFAULT_ADDR: &str = "127.0.0.1:6121";
 
 /// Default output path of `repro bench` (one JSON per PR: the perf
 /// trajectory accumulates as CI artifacts).
-const BENCH_JSON: &str = "BENCH_5.json";
+const BENCH_JSON: &str = "BENCH_6.json";
 
 fn run(args: &[String]) -> Result<(), String> {
     let mut scale = Scale::standard();
@@ -55,6 +65,19 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut stream = false;
     // 0 = one worker per available CPU (the engine default).
     let mut jobs: usize = 0;
+    let mut jobs_given = false;
+    let mut scale_given = false;
+    // countd (serve/client/bench --served) options.
+    let mut serve = false;
+    let mut client = false;
+    let mut client_action: Option<&'static str> = None;
+    let mut addr: Option<String> = None;
+    let mut workers: usize = 0;
+    let mut workers_given = false;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut priority: Option<Priority> = None;
+    let mut csv_out = false;
+    let mut served = false;
 
     let mut i = 0;
     while i < args.len() {
@@ -65,6 +88,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 let name = args.get(i).ok_or("--scale needs a value")?;
                 scale = Scale::from_name(name)
                     .ok_or_else(|| format!("unknown scale {name} (quick|standard|paper)"))?;
+                scale_given = true;
             }
             "--out" => {
                 i += 1;
@@ -78,8 +102,36 @@ fn run(args: &[String]) -> Result<(), String> {
                     .ok()
                     .filter(|&n| n >= 1)
                     .ok_or_else(|| format!("--jobs needs a thread count >= 1, got {value:?}"))?;
+                jobs_given = true;
             }
             "--stream" => stream = true,
+            "--addr" => {
+                i += 1;
+                addr = Some(args.get(i).ok_or("--addr needs HOST:PORT")?.clone());
+            }
+            "--workers" => {
+                i += 1;
+                let value = args.get(i).ok_or("--workers needs a value")?;
+                workers = value.parse::<usize>().map_err(|_| {
+                    format!("--workers needs a thread count (0 = one per CPU), got {value:?}")
+                })?;
+                workers_given = true;
+            }
+            "--cache-dir" => {
+                i += 1;
+                cache_dir = Some(PathBuf::from(args.get(i).ok_or("--cache-dir needs a path")?));
+            }
+            "--priority" => {
+                i += 1;
+                let value = args.get(i).ok_or("--priority needs interactive|bulk")?;
+                priority = Some(match value.as_str() {
+                    "interactive" => Priority::Interactive,
+                    "bulk" => Priority::Bulk,
+                    _ => return Err(format!("--priority needs interactive|bulk, got {value:?}")),
+                });
+            }
+            "--csv" => csv_out = true,
+            "--served" => served = true,
             "--json" => {
                 i += 1;
                 bench_json = PathBuf::from(args.get(i).ok_or("--json needs a path")?);
@@ -91,6 +143,15 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             LIST => list = true,
             BENCH => bench = true,
+            SERVE => serve = true,
+            CLIENT => client = true,
+            action
+                if client
+                    && client_action.is_none()
+                    && CLIENT_ACTIONS.contains(&action) =>
+            {
+                client_action = CLIENT_ACTIONS.iter().copied().find(|a| *a == action);
+            }
             ALL => commands.push(ALL),
             cmd => {
                 // The registry is the single source of truth for both the
@@ -114,6 +175,64 @@ fn run(args: &[String]) -> Result<(), String> {
         i += 1;
     }
 
+    // serve/client validation: both run alone, with their own flag sets
+    // (a misplaced flag is a usage error, not a silent no-op).
+    if serve || client {
+        if serve && client {
+            return Err(format!("{SERVE} and {CLIENT} are separate commands; see --help"));
+        }
+        let what = if serve { SERVE } else { CLIENT };
+        if !commands.is_empty()
+            || list
+            || bench
+            || stream
+            || !ablations.is_empty()
+            || out_dir.is_some()
+            || json_given
+        {
+            return Err(format!("{what} runs alone; see --help"));
+        }
+        if jobs_given {
+            return Err(format!(
+                "--jobs does not apply to {what} (use --workers on {SERVE})"
+            ));
+        }
+        if served {
+            return Err(format!("--served only applies to {BENCH}; see --help"));
+        }
+    }
+    if serve {
+        if scale_given || priority.is_some() || csv_out {
+            return Err(format!("--scale/--priority/--csv are {CLIENT} flags; see --help"));
+        }
+        return run_serve(addr, workers, cache_dir);
+    }
+    if client {
+        if workers_given || cache_dir.is_some() {
+            return Err(format!("--workers/--cache-dir are {SERVE} flags; see --help"));
+        }
+        let action = client_action
+            .ok_or_else(|| format!("{CLIENT} needs an action: {}", CLIENT_ACTIONS.join("|")))?;
+        if action != "grid" && (scale_given || priority.is_some() || csv_out) {
+            return Err(format!("--scale/--priority/--csv only apply to `{CLIENT} grid`"));
+        }
+        return run_client(
+            addr.as_deref().unwrap_or(DEFAULT_ADDR),
+            action,
+            scale,
+            priority,
+            csv_out,
+        );
+    }
+    if addr.is_some() || workers_given || cache_dir.is_some() || priority.is_some() || csv_out {
+        return Err(format!(
+            "--addr/--workers/--cache-dir/--priority/--csv apply to {SERVE}/{CLIENT} only"
+        ));
+    }
+    if served && !bench {
+        return Err(format!("--served only applies to {BENCH}; see --help"));
+    }
+
     if json_given && !bench {
         return Err(format!("--json only applies to {BENCH}; see --help"));
     }
@@ -126,7 +245,7 @@ fn run(args: &[String]) -> Result<(), String> {
             .find(|n| Scale::from_name(n) == Some(scale))
             .copied()
             .unwrap_or("custom");
-        return bench::run(scale_name, scale, jobs, &bench_json);
+        return bench::run(scale_name, scale, jobs, &bench_json, served);
     }
 
     if list {
@@ -189,6 +308,98 @@ fn err(e: impl std::fmt::Display) -> String {
     e.to_string()
 }
 
+/// `repro serve` — runs countd in the foreground until a client sends
+/// `SHUTDOWN` (or the process is killed).
+fn run_serve(
+    addr: Option<String>,
+    workers: usize,
+    cache_dir: Option<PathBuf>,
+) -> Result<(), String> {
+    let cache_note = match &cache_dir {
+        Some(dir) => format!("memory + disk cache at {}", dir.display()),
+        None => "memory cache only".to_string(),
+    };
+    let server = Server::spawn(ServeConfig {
+        addr: addr.unwrap_or_else(|| DEFAULT_ADDR.to_string()),
+        workers,
+        cache: CacheConfig {
+            dir: cache_dir,
+            ..CacheConfig::default()
+        },
+    })
+    .map_err(err)?;
+    println!(
+        "countd listening on {} ({} workers, {cache_note}); \
+         stop with `repro client --addr {} shutdown`",
+        server.addr(),
+        server.stats().workers,
+        server.addr()
+    );
+    server.join();
+    println!("countd: shut down");
+    Ok(())
+}
+
+/// `repro client` — one request against a running countd.
+fn run_client(
+    addr: &str,
+    action: &str,
+    scale: Scale,
+    priority: Option<Priority>,
+    csv_out: bool,
+) -> Result<(), String> {
+    match action {
+        "ping" => {
+            serve::request_ping(addr).map_err(err)?;
+            println!("pong from {addr}");
+        }
+        "shutdown" => {
+            serve::request_shutdown(addr).map_err(err)?;
+            println!("server at {addr} shut down");
+        }
+        "stats" => {
+            let s = serve::request_stats(addr).map_err(err)?;
+            println!(
+                "countd at {addr}: {} requests ({} grids), cache {} hits / {} misses \
+                 ({} from disk, {} poisoned), {} entries / {} bytes in memory, {} workers",
+                s.requests,
+                s.grids,
+                s.hits,
+                s.misses,
+                s.disk_hits,
+                s.poisoned,
+                s.mem_entries,
+                s.mem_bytes,
+                s.workers
+            );
+        }
+        "grid" => {
+            // The same full null grid the `csv` experiment exports, so
+            // `client grid --csv` is diffable against a local run.
+            let grid = Grid::full_null(scale.grid_reps);
+            let priority = priority.unwrap_or_else(|| serve::auto_priority(&grid));
+            let (meta, records) = serve::request_grid(addr, &grid, priority).map_err(err)?;
+            if csv_out {
+                print!("{}", report::CSV_HEADER);
+                for record in &records {
+                    print!("{}", report::record_to_csv_line(record));
+                }
+            } else {
+                println!(
+                    "{} records from {} cells x {} reps ({} cells cached, {} computed)",
+                    records.len(),
+                    meta.cells,
+                    meta.reps,
+                    meta.hits,
+                    meta.misses
+                );
+            }
+        }
+        _ => unreachable!("validated against CLIENT_ACTIONS"),
+    }
+    Ok(())
+}
+
 /// The error for an unrecognized command, with near-miss suggestions
 /// from the registry.
 fn unknown_command(cmd: &str) -> String {
@@ -245,8 +456,28 @@ fn help() -> String {
         "  {BENCH:<13} time the measurement engine (null grid, fig7,\n\
          {:<15}csv streaming; session vs fresh-boot) and write\n\
          {:<15}machine-readable results to {BENCH_JSON} (--json PATH\n\
-         {:<15}overrides); runs alone\n",
+         {:<15}overrides; --served adds a countd cache workload);\n\
+         {:<15}runs alone\n",
+        "", "", "", ""
+    ));
+    commands.push_str(&format!(
+        "  {SERVE:<13} run countd, the measurement daemon: answers grid\n\
+         {:<15}requests from a content-addressed result cache and\n\
+         {:<15}computes misses on a shared worker pool\n\
+         {:<15}[--addr HOST:PORT] [--workers N] [--cache-dir DIR]\n",
         "", "", ""
+    ));
+    commands.push_str(&format!(
+        "  {CLIENT:<13} one request against a running countd; actions:\n\
+         {:<15}{} [--addr HOST:PORT]\n\
+         {:<15}(grid: [--scale S] [--priority interactive|bulk]\n\
+         {:<15}[--csv] — --csv prints the records as CSV, diffable\n\
+         {:<15}against a local `repro csv` run)\n",
+        "",
+        CLIENT_ACTIONS.join("|"),
+        "",
+        "",
+        ""
     ));
 
     let mut ablations = String::new();
@@ -284,9 +515,23 @@ repro — regenerate the tables and figures of
 
 USAGE:
   repro [--scale quick|standard|paper] [--jobs N] [--out DIR] COMMAND...
+  repro serve [--addr HOST:PORT] [--workers N] [--cache-dir DIR]
+  repro client [--addr HOST:PORT] grid|stats|ping|shutdown
 
 OPTIONS:
   --scale quick|standard|paper  repetition preset (default standard)
+  --addr HOST:PORT              serve: bind address / client: server
+                                address (default {DEFAULT_ADDR})
+  --workers N                   serve: measurement worker threads
+                                (default 0 = one per CPU)
+  --cache-dir DIR               serve: also keep the result cache on
+                                disk in DIR (checksummed, survives
+                                restarts)
+  --priority interactive|bulk   client grid: scheduling class on the
+                                server's pool (default: auto by size)
+  --csv                         client grid: print the records as CSV
+  --served                      bench: add the countd served-vs-local
+                                workload (cold misses, warm cache hits)
   --jobs N                      worker threads for the execution engine
                                 (default: one per available CPU; 1 runs
                                 the sweep sequentially on the calling
@@ -337,7 +582,10 @@ mod tests {
                 );
             }
         }
-        for word in [ALL, LIST, BENCH, "--stream", "--jobs", "--out", "--scale", "--json"] {
+        for word in [
+            ALL, LIST, BENCH, SERVE, CLIENT, "--stream", "--jobs", "--out", "--scale", "--json",
+            "--addr", "--workers", "--cache-dir", "--priority", "--csv", "--served",
+        ] {
             assert!(
                 help.split_whitespace().any(|w| w == word),
                 "{word} missing from --help"
@@ -434,13 +682,14 @@ mod tests {
     /// null-grid section carries both boot policies and a speedup field.
     #[test]
     fn bench_writes_json() {
-        let path = std::env::temp_dir().join(format!("bench5-{}.json", std::process::id()));
+        let path = std::env::temp_dir().join(format!("bench6-{}.json", std::process::id()));
         let a = args(&[
             "--scale",
             "quick",
             "--jobs",
             "2",
             "bench",
+            "--served",
             "--json",
             path.to_str().unwrap(),
         ]);
@@ -450,6 +699,8 @@ mod tests {
             "\"null_grid\"",
             "\"fig7_duration\"",
             "\"csv_stream\"",
+            "\"served_grid\"",
+            "\"warm_speedup_vs_fresh\"",
             "\"speedup\"",
             "\"fresh\"",
             "\"session\"",
@@ -459,6 +710,51 @@ mod tests {
             assert!(json.contains(key), "{key} missing from {json}");
         }
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// serve/client flag surfaces are validated strictly: a misplaced
+    /// flag is a usage error, never a silent no-op.
+    #[test]
+    fn serve_and_client_flag_validation() {
+        for bad in [
+            &["serve", "table1"][..],
+            &["serve", "bench"],
+            &["serve", "--jobs", "2"],
+            &["serve", "--scale", "quick"],
+            &["serve", "--csv"],
+            &["serve", "--served"],
+            &["serve", "client"],
+            &["client"],
+            &["client", "ping", "--csv"],
+            &["client", "stats", "--priority", "bulk"],
+            &["client", "grid", "--workers", "2"],
+            &["client", "grid", "--cache-dir", "somewhere"],
+            &["client", "grid", "--priority", "urgent"],
+            &["table1", "--addr", "127.0.0.1:1"],
+            &["table1", "--csv"],
+            &["--served", "table1"],
+        ] {
+            assert!(super::run(&args(bad)).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    /// The whole CLI client surface against a live in-process countd.
+    #[test]
+    fn client_round_trip_against_spawned_server() {
+        let server = Server::spawn(ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.addr().to_string();
+        super::run(&args(&["client", "--addr", addr.as_str(), "ping"])).unwrap();
+        super::run(&args(&[
+            "client", "--addr", addr.as_str(), "--scale", "quick", "--priority", "bulk", "grid",
+        ]))
+        .unwrap();
+        super::run(&args(&["client", "--addr", addr.as_str(), "stats"])).unwrap();
+        super::run(&args(&["client", "--addr", addr.as_str(), "shutdown"])).unwrap();
+        server.join();
     }
 
     #[test]

@@ -41,6 +41,21 @@ pub enum CoreError {
     },
     /// An experiment produced no data (e.g. empty grid).
     NoData(&'static str),
+    /// A measurement (or a grid axis) asked for **zero** hardware
+    /// counters. A session cannot be armed with no events, and before
+    /// this variant existed the request either fell through a
+    /// `saturating_sub(1)` event selection into an empty-but-plausible
+    /// record, or was silently skipped by the grid's cell filter — both
+    /// indistinguishable from a real result once answers travel over a
+    /// network.
+    ZeroCounters,
+    /// A countd wire-protocol message could not be parsed, used an
+    /// unknown version token, or violated the request/response framing.
+    /// The embedded string says what was malformed.
+    Protocol(String),
+    /// The countd daemon (or its client) hit a socket / filesystem
+    /// error outside the protocol itself — bind, accept, read, write.
+    Serve(String),
 }
 
 impl fmt::Display for CoreError {
@@ -62,6 +77,11 @@ impl fmt::Display for CoreError {
                  first read {first}, second read {second}"
             ),
             CoreError::NoData(what) => write!(f, "experiment produced no data: {what}"),
+            CoreError::ZeroCounters => {
+                write!(f, "zero hardware counters requested: nothing to measure")
+            }
+            CoreError::Protocol(what) => write!(f, "wire protocol error: {what}"),
+            CoreError::Serve(what) => write!(f, "serve error: {what}"),
         }
     }
 }
@@ -128,5 +148,12 @@ mod tests {
         assert!(b.to_string().contains("40"));
         let s = CoreError::from(StatsError::EmptyInput);
         assert!(Error::source(&s).is_some());
+        assert!(CoreError::ZeroCounters.to_string().contains("zero"));
+        assert!(CoreError::Protocol("bad header".into())
+            .to_string()
+            .contains("bad header"));
+        assert!(CoreError::Serve("bind failed".into())
+            .to_string()
+            .contains("bind failed"));
     }
 }

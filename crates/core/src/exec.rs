@@ -13,8 +13,9 @@
 //! the first failure (by index, not by wall clock) is propagated after
 //! in-flight work drains.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 
 use crate::{CoreError, Result};
 
@@ -22,6 +23,24 @@ use crate::{CoreError, Result};
 /// `(completed, total)`. Invoked concurrently from worker threads, hence
 /// the `Sync` bound; completion order is scheduling-dependent even though
 /// the returned results are not.
+///
+/// The contract the daemon's progress streaming relies on (pinned by unit
+/// tests in this module):
+///
+/// * the callback fires **exactly once per completed item** — never for a
+///   skipped item, never twice (`run_cell_chunked` counts items through
+///   one shared counter and suppresses the inner engine's reporting, so
+///   blocks cannot double-report even when `reps % block != 0`);
+/// * `done` values over a successful run are exactly the set
+///   `1..=total`, each seen once;
+/// * with one worker the calls are the exact ascending sequence
+///   `(1, total), (2, total), …, (total, total)`;
+/// * with multiple workers the *invocation order* may interleave —
+///   two workers can fetch ticks `n` and `n+1` and call back in either
+///   order — so consumers must treat `done` as a high-water mark, not
+///   assume monotone call order;
+/// * `total == 0` (or an empty cell/rep dimension) never invokes the
+///   callback at all.
 pub type ProgressFn<'a> = &'a (dyn Fn(usize, usize) + Sync);
 
 /// Options controlling how a sweep executes.
@@ -429,6 +448,154 @@ where
     Ok(())
 }
 
+/// Scheduling class of a job submitted to a [`PriorityPool`].
+///
+/// countd maps small interactive requests to [`Priority::Interactive`]
+/// and large sweeps to [`Priority::Bulk`]; because a bulk *request* is
+/// split into many per-cell jobs, an interactive arrival overtakes the
+/// sweep at the next job boundary — preemption at chunk granularity, no
+/// job is ever interrupted mid-flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Priority {
+    /// Served before any queued bulk work.
+    Interactive,
+    /// Served only when no interactive work is queued.
+    Bulk,
+}
+
+type PoolJob = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolQueues {
+    interactive: VecDeque<PoolJob>,
+    bulk: VecDeque<PoolJob>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    queues: Mutex<PoolQueues>,
+    ready: Condvar,
+}
+
+/// A long-lived two-class worker pool: the serving counterpart of the
+/// scoped, run-to-completion engines above.
+///
+/// [`run_indexed`] and friends spawn workers per sweep and join them
+/// before returning — perfect for one caller, useless for a daemon that
+/// must multiplex many concurrent requests over one set of cores. The
+/// pool inverts that: `N` workers live as long as the pool, callers
+/// [`PriorityPool::submit`] boxed jobs tagged with a [`Priority`], and
+/// workers always drain the interactive queue before touching the bulk
+/// queue. Within one class, jobs run in submission order.
+///
+/// Dropping the pool finishes **all** queued jobs first (both classes),
+/// then joins the workers — a submitted job is never silently dropped,
+/// so a request handler blocked on a job's result channel cannot hang.
+pub struct PriorityPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for PriorityPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PriorityPool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl PriorityPool {
+    /// A pool with `workers` threads (`0` = one per available CPU).
+    pub fn new(workers: usize) -> Self {
+        let workers = if workers == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            workers
+        };
+        let shared = Arc::new(PoolShared {
+            queues: Mutex::new(PoolQueues {
+                interactive: VecDeque::new(),
+                bulk: VecDeque::new(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|n| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("countd-worker-{n}"))
+                    .spawn(move || Self::worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        PriorityPool {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Queues `job` at `priority`. Returns immediately; results travel
+    /// through whatever channel the job closes over.
+    pub fn submit<F>(&self, priority: Priority, job: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let mut queues = self.shared.queues.lock().expect("pool queue mutex");
+        match priority {
+            Priority::Interactive => queues.interactive.push_back(Box::new(job)),
+            Priority::Bulk => queues.bulk.push_back(Box::new(job)),
+        }
+        drop(queues);
+        self.shared.ready.notify_one();
+    }
+
+    fn worker_loop(shared: &PoolShared) {
+        loop {
+            let job = {
+                let mut queues = shared.queues.lock().expect("pool queue mutex");
+                loop {
+                    // Interactive first — this single pop order *is* the
+                    // priority semantics.
+                    if let Some(job) = queues.interactive.pop_front() {
+                        break Some(job);
+                    }
+                    if let Some(job) = queues.bulk.pop_front() {
+                        break Some(job);
+                    }
+                    if queues.shutdown {
+                        break None;
+                    }
+                    queues = shared.ready.wait(queues).expect("pool queue mutex");
+                }
+            };
+            match job {
+                Some(job) => job(),
+                None => return,
+            }
+        }
+    }
+}
+
+impl Drop for PriorityPool {
+    fn drop(&mut self) {
+        {
+            let mut queues = self.shared.queues.lock().expect("pool queue mutex");
+            queues.shutdown = true;
+        }
+        self.shared.ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -691,6 +858,135 @@ mod tests {
         let opts = RunOptions::with_jobs(3).with_progress(&progress);
         run_cell_chunked(6, 5, 5, &opts, |_, _| Ok(()), |(), i| Ok(i)).unwrap();
         assert_eq!(seen.load(Ordering::Relaxed), 30);
+    }
+
+    /// Satellite audit of the chunked-session progress accounting: with
+    /// one worker the callback sequence is *exactly* ascending, even when
+    /// `reps % block != 0` — the case where a cell spans a full block
+    /// plus a remainder block and a double-report would show up as a
+    /// repeated `done` value.
+    #[test]
+    fn cell_chunked_progress_sequence_pinned_sequential() {
+        let calls = Mutex::new(Vec::new());
+        let progress = |done: usize, total: usize| {
+            calls.lock().unwrap().push((done, total));
+        };
+        // 3 cells × 7 reps, block 5 → per cell one 5-block + one 2-block.
+        let opts = RunOptions::sequential().with_progress(&progress);
+        run_cell_chunked(3, 7, 5, &opts, |_, _| Ok(()), |(), i| Ok(i)).unwrap();
+        let expected: Vec<(usize, usize)> = (1..=21).map(|done| (done, 21)).collect();
+        assert_eq!(*calls.lock().unwrap(), expected);
+    }
+
+    /// At any worker count the `done` values of a successful run are a
+    /// permutation of `1..=total`: exactly once each, no double-reports
+    /// from remainder blocks, no missing ticks.
+    #[test]
+    fn cell_chunked_progress_is_permutation_with_ragged_blocks() {
+        for (jobs, cells, reps, block) in
+            [(4, 3, 7, 5), (8, 5, 9, 4), (2, 1, 33, SESSION_REP_BLOCK)]
+        {
+            let total = cells * reps;
+            let calls = Mutex::new(Vec::new());
+            let progress = |done: usize, reported_total: usize| {
+                assert_eq!(reported_total, total);
+                calls.lock().unwrap().push(done);
+            };
+            let opts = RunOptions::with_jobs(jobs).with_progress(&progress);
+            run_cell_chunked(cells, reps, block, &opts, |_, _| Ok(()), |(), i| Ok(i)).unwrap();
+            let mut seen = calls.into_inner().unwrap();
+            seen.sort_unstable();
+            assert_eq!(
+                seen,
+                (1..=total).collect::<Vec<_>>(),
+                "jobs={jobs} cells={cells} reps={reps} block={block}"
+            );
+        }
+    }
+
+    /// Empty dimensions must never invoke the callback — a daemon
+    /// streaming progress frames would otherwise emit a bogus tick for a
+    /// request that has no work.
+    #[test]
+    fn cell_chunked_progress_silent_when_empty() {
+        let progress = |done: usize, total: usize| {
+            panic!("progress({done}, {total}) called for empty work");
+        };
+        for (cells, reps) in [(0, 5), (5, 0), (0, 0)] {
+            let opts = RunOptions::with_jobs(4).with_progress(&progress);
+            let out =
+                run_cell_chunked(cells, reps, 3, &opts, |_, _| Ok(()), |(), i| Ok(i)).unwrap();
+            assert!(out.is_empty());
+        }
+        run_indexed(0, &RunOptions::with_jobs(4).with_progress(&progress), Ok).unwrap();
+        run_indexed_each(
+            0,
+            &RunOptions::with_jobs(4).with_progress(&progress),
+            Ok,
+            |_, _: usize| {},
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn pool_runs_all_jobs_before_drop_returns() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let pool = PriorityPool::new(4);
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            pool.submit(Priority::Bulk, move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        drop(pool); // joins after draining both queues
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn pool_interactive_preempts_queued_bulk() {
+        // One worker, deterministically: a blocker job holds the worker
+        // while bulk jobs and then one interactive job queue up behind
+        // it. When the gate opens, the interactive job must run before
+        // every already-queued bulk job.
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
+        let pool = PriorityPool::new(1);
+        pool.submit(Priority::Bulk, move || {
+            gate_rx.recv().expect("gate");
+        });
+        for n in 0..5 {
+            let order = Arc::clone(&order);
+            pool.submit(Priority::Bulk, move || {
+                order.lock().unwrap().push(format!("bulk-{n}"));
+            });
+        }
+        {
+            let order = Arc::clone(&order);
+            pool.submit(Priority::Interactive, move || {
+                order.lock().unwrap().push("interactive".to_string());
+            });
+        }
+        gate_tx.send(()).expect("open gate");
+        drop(pool);
+        let order = order.lock().unwrap();
+        assert_eq!(order.len(), 6);
+        assert_eq!(
+            order[0], "interactive",
+            "interactive must overtake queued bulk work: {order:?}"
+        );
+    }
+
+    #[test]
+    fn pool_zero_workers_means_auto() {
+        let pool = PriorityPool::new(0);
+        assert!(pool.workers() >= 1);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&ran);
+        pool.submit(Priority::Interactive, move || {
+            r.fetch_add(1, Ordering::Relaxed);
+        });
+        drop(pool);
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
     }
 
     #[test]

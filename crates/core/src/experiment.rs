@@ -367,19 +367,72 @@ impl Report {
 
     /// Feeds every artifact to `sink` in order.
     ///
+    /// Artifact names are checked against [`validate_artifact_name`]
+    /// **before** the sink sees them: a name that fails fails the whole
+    /// emit with [`SinkError::BadName`] and never reaches the
+    /// destination. Each built-in sink re-checks on its own `consume`
+    /// path too (defense in depth — sinks are public and callable
+    /// directly, and names can now arrive over countd's wire).
+    ///
     /// # Errors
     ///
-    /// The first sink failure (I/O or a row producer's run error).
+    /// [`SinkError::BadName`] for an invalid artifact name; otherwise the
+    /// first sink failure (I/O or a row producer's run error).
     pub fn emit(self, sink: &mut dyn Sink) -> std::result::Result<Vec<Emitted>, SinkError> {
         self.artifacts
             .into_iter()
             .map(|artifact| {
                 let name = artifact.name;
+                check_artifact_name(name)?;
                 let rows = sink.consume(artifact)?;
                 Ok(Emitted { name, rows })
             })
             .collect()
     }
+}
+
+/// Checks that an artifact name is a safe, plain file name.
+///
+/// Accepted: 1–128 bytes of `[A-Za-z0-9._-]`, not consisting solely of
+/// dots. Everything else — and in particular `/`, `\`, `..` and absolute
+/// paths — is rejected with a static reason string.
+///
+/// Artifact names become file names under a sink directory chosen by the
+/// *receiver*, and with countd they arrive from the network: a name like
+/// `../x` or `figs/x.csv` must be a typed refusal at the trust boundary,
+/// not a silently created directory tree (`fs::write(dir.join(name))`
+/// happily escapes `dir` for such names — that was the hole).
+///
+/// # Errors
+///
+/// A static human-readable reason.
+pub fn validate_artifact_name(name: &str) -> std::result::Result<(), &'static str> {
+    if name.is_empty() {
+        return Err("name is empty");
+    }
+    if name.len() > 128 {
+        return Err("name longer than 128 bytes");
+    }
+    if name.bytes().all(|b| b == b'.') {
+        return Err("name is only dots");
+    }
+    for c in name.chars() {
+        match c {
+            'A'..='Z' | 'a'..='z' | '0'..='9' | '.' | '_' | '-' => {}
+            '/' | '\\' => return Err("name contains a path separator"),
+            _ => return Err("name contains a character outside [A-Za-z0-9._-]"),
+        }
+    }
+    Ok(())
+}
+
+/// [`validate_artifact_name`] lifted to [`SinkError`], for sinks'
+/// `consume` paths.
+fn check_artifact_name(name: &str) -> std::result::Result<(), SinkError> {
+    validate_artifact_name(name).map_err(|reason| SinkError::BadName {
+        name: name.to_string(),
+        reason,
+    })
 }
 
 /// A sink failure: either the destination's I/O or the row producer's
@@ -395,6 +448,14 @@ pub enum SinkError {
     },
     /// A row producer's sweep failed.
     Run(crate::CoreError),
+    /// The artifact's name failed [`validate_artifact_name`] — it would
+    /// escape or pollute the destination directory.
+    BadName {
+        /// The offending name, verbatim.
+        name: String,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for SinkError {
@@ -402,6 +463,9 @@ impl std::fmt::Display for SinkError {
         match self {
             SinkError::Io { name, source } => write!(f, "writing {name}: {source}"),
             SinkError::Run(e) => write!(f, "{e}"),
+            SinkError::BadName { name, reason } => {
+                write!(f, "invalid artifact name {name:?}: {reason}")
+            }
         }
     }
 }
@@ -411,6 +475,7 @@ impl std::error::Error for SinkError {
         match self {
             SinkError::Io { source, .. } => Some(source),
             SinkError::Run(e) => Some(e),
+            SinkError::BadName { .. } => None,
         }
     }
 }
@@ -491,6 +556,7 @@ impl ConsoleSink {
 impl Sink for ConsoleSink {
     fn consume(&mut self, artifact: Artifact) -> std::result::Result<Option<u64>, SinkError> {
         let name = artifact.name;
+        check_artifact_name(name)?;
         match artifact.body {
             ArtifactBody::Text(content) => {
                 println!("{content}");
@@ -539,6 +605,7 @@ impl DirSink {
 impl Sink for DirSink {
     fn consume(&mut self, artifact: Artifact) -> std::result::Result<Option<u64>, SinkError> {
         let name = artifact.name;
+        check_artifact_name(name)?;
         match artifact.body {
             ArtifactBody::Text(content) => {
                 fs::write(self.dir.join(name), &content)
@@ -592,6 +659,7 @@ impl MemorySink {
 impl Sink for MemorySink {
     fn consume(&mut self, artifact: Artifact) -> std::result::Result<Option<u64>, SinkError> {
         let name = artifact.name;
+        check_artifact_name(name)?;
         let kind = artifact.kind();
         let (content, rows) = match artifact.body {
             ArtifactBody::Text(content) => (content, None),
@@ -802,6 +870,83 @@ mod tests {
             ))
             .unwrap();
         assert_eq!(rows, Some(7));
+    }
+
+    #[test]
+    fn artifact_name_validation_rules() {
+        for good in ["fig1.txt", "full_grid.csv", "BENCH_6.json", "a", "x-y_z.9"] {
+            assert_eq!(validate_artifact_name(good), Ok(()), "{good}");
+        }
+        for (bad, why) in [
+            ("figs/x.csv", "separator"),
+            ("..", "dots"),
+            (".", "dots"),
+            ("../up.csv", "separator"),
+            ("..\\up.csv", "separator"),
+            ("/etc/passwd", "separator"),
+            ("", "empty"),
+            ("a b.csv", "outside"),
+            ("naïve.txt", "outside"),
+        ] {
+            let reason = validate_artifact_name(bad).unwrap_err();
+            assert!(reason.contains(why), "{bad:?}: got {reason:?}");
+        }
+        assert!(validate_artifact_name(&"x".repeat(129)).is_err());
+        assert!(validate_artifact_name(&"x".repeat(128)).is_ok());
+    }
+
+    /// The path-traversal hole, per sink: a driver- (or network-)
+    /// supplied name with separators or `..` must be a typed `BadName`
+    /// error from every sink and from `Report::emit`, and `DirSink` must
+    /// not have created anything outside (or inside) its directory.
+    #[test]
+    fn sinks_reject_traversal_names() {
+        let dir = std::env::temp_dir().join(format!("counterlab-badname-{}", std::process::id()));
+        for bad in ["figs/x.csv", "../escape.txt", ".."] {
+            let err = Report::text(bad_static(bad), "payload".into())
+                .emit(&mut MemorySink::new())
+                .unwrap_err();
+            assert!(matches!(err, SinkError::BadName { .. }), "emit {bad}: {err}");
+
+            let mut mem = MemorySink::new();
+            let err = mem
+                .consume(Artifact::text(bad_static(bad), "payload".into()))
+                .unwrap_err();
+            assert!(matches!(err, SinkError::BadName { .. }), "memory {bad}: {err}");
+            assert!(mem.artifacts.is_empty());
+
+            let mut dsink = DirSink::new(&dir).unwrap();
+            let err = dsink
+                .consume(Artifact::text(bad_static(bad), "payload".into()))
+                .unwrap_err();
+            assert!(matches!(err, SinkError::BadName { .. }), "dir {bad}: {err}");
+            let err = dsink
+                .consume(Artifact::rows(
+                    bad_static(bad),
+                    Box::new(|push| {
+                        push("row\n");
+                        Ok(1)
+                    }),
+                ))
+                .unwrap_err();
+            assert!(matches!(err, SinkError::BadName { .. }), "dir rows {bad}: {err}");
+
+            let mut csink = ConsoleSink::new(Some(&dir)).unwrap();
+            let err = csink
+                .consume(Artifact::text(bad_static(bad), "payload".into()))
+                .unwrap_err();
+            assert!(matches!(err, SinkError::BadName { .. }), "console {bad}: {err}");
+        }
+        // Nothing was written anywhere under (or escaping via) the dir.
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 0);
+        assert!(!std::env::temp_dir().join("escape.txt").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Artifact names are `&'static str` by design; tests leak a few
+    /// bytes to exercise attacker-shaped names through the same API.
+    fn bad_static(name: &str) -> &'static str {
+        Box::leak(name.to_string().into_boxed_str())
     }
 
     #[test]

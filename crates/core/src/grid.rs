@@ -100,6 +100,25 @@ impl Grid {
         }
     }
 
+    /// Rejects grid specifications that look runnable but can only
+    /// mislead. Every run entry point calls this first.
+    ///
+    /// Today there is one rule: a `0` in [`Grid::counter_counts`] is an
+    /// error, not a skip. The cell enumerator used to drop zero-counter
+    /// cells silently, so a request for them produced an
+    /// empty-but-plausible result set — locally that's a puzzled user,
+    /// but over countd's wire it's indistinguishable from a real answer.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::CoreError::ZeroCounters`].
+    pub fn validate(&self) -> Result<()> {
+        if self.counter_counts.contains(&0) {
+            return Err(crate::CoreError::ZeroCounters);
+        }
+        Ok(())
+    }
+
     /// Number of cells that will actually run (after skipping impossible
     /// combinations).
     pub fn cell_count(&self) -> usize {
@@ -179,9 +198,11 @@ impl Grid {
     ///
     /// # Errors
     ///
-    /// Propagates the lowest-index measurement failure (see
-    /// [`exec::run_cell_chunked`]).
+    /// [`crate::CoreError::ZeroCounters`] if the specification fails
+    /// [`Grid::validate`]; otherwise propagates the lowest-index
+    /// measurement failure (see [`exec::run_cell_chunked`]).
     pub fn run_with(&self, opts: &RunOptions<'_>) -> Result<Vec<Record>> {
+        self.validate()?;
         if self.fresh_boot {
             return self.run_with_measure(opts, run_measurement);
         }
@@ -216,6 +237,7 @@ impl Grid {
     where
         F: Fn(&MeasurementConfig, Benchmark) -> Result<Record> + Sync,
     {
+        self.validate()?;
         let cells: Vec<MeasurementConfig> = self.cells().collect();
         exec::run_cell_chunked(
             cells.len(),
@@ -238,6 +260,45 @@ impl Grid {
     fn session_for(&self, cell: &MeasurementConfig, rep: usize) -> Result<MeasurementSession> {
         let seed = per_run_seed(self.base_seed, cell, rep);
         MeasurementSession::new(&MeasurementConfig { seed, ..*cell }, self.benchmark)
+    }
+
+    /// Runs **one** cell's repetitions, in repetition order, honoring
+    /// [`Grid::fresh_boot`]. The records are exactly the slice of
+    /// [`Grid::run_with`]'s output belonging to this cell — this is the
+    /// unit of work countd computes and caches per cell key, and the
+    /// per-cell/whole-grid identity is pinned by a unit test.
+    ///
+    /// `cell` should come from [`Grid::cells`] (its `seed` field is
+    /// ignored; per-repetition seeds derive from [`Grid::base_seed`]).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::CoreError::ZeroCounters`] if the specification fails
+    /// [`Grid::validate`] or the cell itself requests zero counters;
+    /// otherwise the first failing repetition.
+    pub fn run_cell(&self, cell: &MeasurementConfig) -> Result<Vec<Record>> {
+        self.validate()?;
+        if cell.counters == 0 {
+            return Err(crate::CoreError::ZeroCounters);
+        }
+        let mut records = Vec::with_capacity(self.reps);
+        if self.reps == 0 {
+            return Ok(records);
+        }
+        if self.fresh_boot {
+            for rep in 0..self.reps {
+                let seed = per_run_seed(self.base_seed, cell, rep);
+                let cfg = MeasurementConfig { seed, ..*cell };
+                records.push(run_measurement(&cfg, self.benchmark)?);
+            }
+        } else {
+            let mut session = self.session_for(cell, 0)?;
+            for rep in 0..self.reps {
+                let seed = per_run_seed(self.base_seed, cell, rep);
+                records.push(session.run(seed)?);
+            }
+        }
+        Ok(records)
     }
 
     /// Streams the whole grid into **one accumulator per cell** instead of
@@ -269,6 +330,7 @@ impl Grid {
         I: Fn(&MeasurementConfig) -> A + Sync,
         S: Fn(&mut A, &Record) + Sync,
     {
+        self.validate()?;
         if self.fresh_boot {
             return self.run_fold_with_measure(opts, init, step, run_measurement);
         }
@@ -308,6 +370,7 @@ impl Grid {
         S: Fn(&mut A, &Record) + Sync,
         F: Fn(&MeasurementConfig, Benchmark) -> Result<Record> + Sync,
     {
+        self.validate()?;
         let cells: Vec<MeasurementConfig> = self.cells().collect();
         let accs = exec::run_indexed(cells.len(), opts, |ci| {
             let cell = &cells[ci];
@@ -367,6 +430,7 @@ impl Grid {
     where
         S: FnMut(&str),
     {
+        self.validate()?;
         let cells: Vec<MeasurementConfig> = self.cells().collect();
         let total = cells.len() * self.reps;
         sink(crate::report::CSV_HEADER);
@@ -641,6 +705,52 @@ mod tests {
         assert!(matches!(
             g.run_summaries(&RunOptions::sequential()),
             Err(crate::CoreError::NoData(_))
+        ));
+    }
+
+    #[test]
+    fn run_cell_concatenation_matches_run_with() {
+        // The per-cell unit countd caches must tile the whole-grid output
+        // exactly, for both boot policies.
+        let mut g = Grid::new(Benchmark::Null);
+        g.interfaces = vec![Interface::Pm, Interface::Pc];
+        g.patterns = vec![Pattern::StartRead, Pattern::ReadRead];
+        g.reps = 3;
+        g.hz = 0;
+        for fresh in [false, true] {
+            g.fresh_boot = fresh;
+            let whole = g.run().unwrap();
+            let tiled: Vec<Record> = g
+                .cells()
+                .flat_map(|cell| g.run_cell(&cell).unwrap())
+                .collect();
+            assert_eq!(tiled, whole, "fresh_boot = {fresh}");
+        }
+    }
+
+    #[test]
+    fn zero_counter_axis_is_rejected_not_skipped() {
+        let mut g = Grid::new(Benchmark::Null);
+        g.counter_counts = vec![0, 1];
+        // The enumerator still skips (pure function), but every run entry
+        // point refuses the specification with the typed error.
+        assert_eq!(g.cell_count(), 1);
+        assert!(matches!(g.validate(), Err(crate::CoreError::ZeroCounters)));
+        assert!(matches!(g.run(), Err(crate::CoreError::ZeroCounters)));
+        assert!(matches!(
+            g.run_fold(&RunOptions::sequential(), |_| 0u64, |_, _| {}),
+            Err(crate::CoreError::ZeroCounters)
+        ));
+        assert!(matches!(
+            g.run_csv(&RunOptions::sequential(), |_| {}),
+            Err(crate::CoreError::ZeroCounters)
+        ));
+        let cell = g.cells().next().unwrap();
+        let bad = MeasurementConfig { counters: 0, ..cell };
+        g.counter_counts = vec![1];
+        assert!(matches!(
+            g.run_cell(&bad),
+            Err(crate::CoreError::ZeroCounters)
         ));
     }
 

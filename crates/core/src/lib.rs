@@ -23,7 +23,10 @@
 //! * [`experiment`] — the public API over those generators: the
 //!   [`experiment::Experiment`] trait, the static
 //!   [`experiment::registry`], and pluggable [`experiment::Sink`]s;
-//! * [`report`] — text/CSV rendering.
+//! * [`report`] — text/CSV rendering;
+//! * [`wire`], [`serve`] — the `countd` measurement daemon: a versioned
+//!   line protocol and a server with a content-addressed result cache,
+//!   so repeated sweeps are answered without re-measurement.
 //!
 //! The hardware and OS substrates live in the sibling crates
 //! `counterlab-cpu`, `counterlab-kernel`, `counterlab-perfctr`,
@@ -66,7 +69,9 @@ pub mod interface;
 pub mod measure;
 pub mod pattern;
 pub mod report;
+pub mod serve;
 pub mod tools;
+pub mod wire;
 
 mod error;
 

@@ -82,13 +82,23 @@ pub fn placement_for(config: &MeasurementConfig, benchmark: &Benchmark) -> CodeP
 /// The events programmed for an `n`-counter measurement: the measured
 /// event first, then distinct filler events (§4.1 measures “all possible
 /// combinations of enabled counters”; we take the first `n−1` others).
+///
+/// `counters == 0` selects **no** events. The old `saturating_sub(1)`
+/// arithmetic still returned `vec![primary]` for zero counters, so a
+/// request that should have been impossible armed one counter anyway and
+/// produced an empty-but-plausible record; callers gate on
+/// [`crate::CoreError::ZeroCounters`] before ever reaching this function,
+/// and this now agrees with them instead of quietly disagreeing.
 pub fn event_selection(primary: Event, counters: usize) -> Vec<Event> {
+    if counters == 0 {
+        return Vec::new();
+    }
     let mut events = vec![primary];
     events.extend(
         Event::ALL
             .into_iter()
             .filter(|e| *e != primary)
-            .take(counters.saturating_sub(1)),
+            .take(counters - 1),
     );
     events
 }
@@ -158,13 +168,20 @@ impl MeasurementSession {
     ///
     /// * [`crate::CoreError::UnsupportedPattern`] for PAPI-high-level with
     ///   a read-first pattern;
+    /// * [`crate::CoreError::ZeroCounters`] when zero counters are
+    ///   requested — a typed, machine-matchable rejection, because a
+    ///   zero-counter "measurement" has nothing to arm and anything it
+    ///   returned would be indistinguishable from a real record;
     /// * [`crate::CoreError::InvalidConfig`] when the processor lacks the
     ///   requested number of counters;
     /// * substrate boot errors propagate.
     pub fn new(config: &MeasurementConfig, benchmark: Benchmark) -> Result<Self> {
         check_supported(config.interface, config.pattern)?;
+        if config.counters == 0 {
+            return Err(crate::CoreError::ZeroCounters);
+        }
         let available = config.processor.uarch().programmable_counters;
-        if config.counters == 0 || config.counters > available {
+        if config.counters > available {
             return Err(crate::CoreError::InvalidConfig(format!(
                 "{} counters requested, {} has {}",
                 config.counters, config.processor, available
@@ -385,6 +402,38 @@ mod tests {
         assert!(run_measurement(&cfg, Benchmark::Null).is_err());
     }
 
+    /// Regression for the zero-counter path: every entry point (fresh
+    /// boot, session boot) must fail with the *typed* `ZeroCounters`
+    /// error, on every interface, so a networked caller can match on it
+    /// rather than parse a message — and so nothing downstream ever sees
+    /// an empty-but-plausible record.
+    #[test]
+    fn zero_counters_is_a_typed_error_everywhere() {
+        for interface in Interface::ALL {
+            for pattern in interface.supported_patterns() {
+                let cfg = base(interface).with_pattern(pattern).with_counters(0);
+                let fresh = run_measurement(&cfg, Benchmark::Null).unwrap_err();
+                assert!(
+                    matches!(fresh, crate::CoreError::ZeroCounters),
+                    "{interface}/{pattern}: fresh boot gave {fresh}"
+                );
+                let boot = MeasurementSession::new(&cfg, Benchmark::Null).unwrap_err();
+                assert!(
+                    matches!(boot, crate::CoreError::ZeroCounters),
+                    "{interface}/{pattern}: session boot gave {boot}"
+                );
+            }
+        }
+        // Too-many-counters stays the descriptive InvalidConfig.
+        let cfg = MeasurementConfig::new(Processor::Core2Duo, Interface::Pm)
+            .with_hz(0)
+            .with_counters(3);
+        assert!(matches!(
+            run_measurement(&cfg, Benchmark::Null).unwrap_err(),
+            crate::CoreError::InvalidConfig(_)
+        ));
+    }
+
     #[test]
     fn determinism() {
         let cfg = base(Interface::Pc).with_pattern(Pattern::ReadRead);
@@ -524,6 +573,16 @@ mod tests {
         assert_eq!(ev[0], Event::InstructionsRetired);
         let set: std::collections::HashSet<_> = ev.iter().collect();
         assert_eq!(set.len(), 4);
+    }
+
+    /// Zero counters must select zero events — the saturating-sub version
+    /// returned `[primary]`, arming a counter the caller never asked for.
+    #[test]
+    fn event_selection_zero_counters_is_empty() {
+        for event in Event::ALL {
+            assert!(event_selection(event, 0).is_empty(), "{event:?}");
+        }
+        assert_eq!(event_selection(Event::InstructionsRetired, 1).len(), 1);
     }
 
     #[test]

@@ -1,0 +1,865 @@
+//! `countd` — the measurement daemon behind `repro serve`.
+//!
+//! A dependency-free TCP server (std [`TcpListener`] plus the crate's
+//! own [`PriorityPool`]) that answers [`Grid`] requests from a
+//! **content-addressed result cache** and computes misses on a worker
+//! pool shared across all connections:
+//!
+//! * Cache key: [`crate::wire::cell_key`] — a [`StreamHasher`] digest of
+//!   the canonical cell identity (configuration, benchmark, repetition
+//!   count, base seed, boot policy). Because every measurement in this
+//!   laboratory is a pure function of that identity, a hit can be
+//!   served **byte-identical** to a fresh [`Grid::run_cell`] run — the
+//!   integration suite holds the daemon to exactly that oracle.
+//! * Two tiers: an in-memory LRU (entry- and byte-capped) in front of
+//!   an optional on-disk tier (`--cache-dir`). Disk entries carry a
+//!   [`crate::wire::CACHE_MAGIC`] header with a payload checksum;
+//!   corruption is detected on read, counted (`poisoned`), the entry
+//!   discarded and the cell recomputed — a poisoned cache can cost
+//!   time, never wrong bytes.
+//! * Scheduling: every missing cell becomes one pool job, so a 3-cell
+//!   interactive request overtakes a 500-cell bulk sweep at cell
+//!   granularity instead of queueing behind it.
+//!
+//! [`StreamHasher`]: counterlab_cpu::hash::StreamHasher
+//!
+//! The client side lives here too ([`request_grid`], [`request_stats`],
+//! …) so `repro client` and the tests speak through one implementation.
+
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+
+use crate::config::MeasurementConfig;
+use crate::exec::{Priority, PriorityPool, RunOptions};
+use crate::experiment::{self, EngineMode, ExperimentCtx, Scale};
+use crate::grid::Grid;
+use crate::measure::Record;
+use crate::wire::{self, GridMeta, Request, ServeStats, WireArtifact};
+use crate::{CoreError, Result};
+
+fn serr(what: impl std::fmt::Display) -> CoreError {
+    CoreError::Serve(what.to_string())
+}
+
+// ---------------------------------------------------------------------------
+// Cache
+// ---------------------------------------------------------------------------
+
+/// Sizing and placement of the result cache.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Entry cap of the in-memory tier.
+    pub max_entries: usize,
+    /// Byte cap (payload bytes) of the in-memory tier.
+    pub max_bytes: usize,
+    /// Directory of the on-disk tier; `None` disables it.
+    pub dir: Option<PathBuf>,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            max_entries: 4096,
+            max_bytes: 64 << 20,
+            dir: None,
+        }
+    }
+}
+
+struct MemEntry {
+    payload: Arc<String>,
+    /// LRU stamp: monotone access clock, smallest evicts first.
+    stamp: u64,
+}
+
+#[derive(Default)]
+struct MemTier {
+    map: HashMap<u64, MemEntry>,
+    bytes: usize,
+    clock: u64,
+}
+
+/// The two-tier content-addressed cell cache. Thread-safe; one instance
+/// is shared by every connection handler.
+pub struct CellCache {
+    mem: Mutex<MemTier>,
+    config: CacheConfig,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    disk_hits: AtomicU64,
+    poisoned: AtomicU64,
+}
+
+impl CellCache {
+    /// Creates the cache, creating the disk-tier directory if configured.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Serve`] if the directory cannot be created.
+    pub fn new(config: CacheConfig) -> Result<Self> {
+        if let Some(dir) = &config.dir {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| serr(format!("creating cache dir {}: {e}", dir.display())))?;
+        }
+        Ok(CellCache {
+            mem: Mutex::new(MemTier::default()),
+            config,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            poisoned: AtomicU64::new(0),
+        })
+    }
+
+    fn entry_path(&self, key: u64) -> Option<PathBuf> {
+        self.config
+            .dir
+            .as_ref()
+            .map(|d| d.join(format!("{key:016x}.cell")))
+    }
+
+    /// Looks `key` up in memory, then on disk. Counts a hit or a miss;
+    /// a disk hit is promoted into the memory tier.
+    pub fn get(&self, key: u64) -> Option<Arc<String>> {
+        {
+            let mut mem = self.mem.lock().expect("cache lock");
+            mem.clock += 1;
+            let clock = mem.clock;
+            if let Some(entry) = mem.map.get_mut(&key) {
+                entry.stamp = clock;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(Arc::clone(&entry.payload));
+            }
+        }
+        if let Some(payload) = self.disk_read(key) {
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            let payload = Arc::new(payload);
+            self.insert_mem(key, Arc::clone(&payload));
+            return Some(payload);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Stores a freshly computed payload in both tiers.
+    pub fn put(&self, key: u64, payload: Arc<String>) {
+        self.disk_write(key, &payload);
+        self.insert_mem(key, payload);
+    }
+
+    fn insert_mem(&self, key: u64, payload: Arc<String>) {
+        let mut mem = self.mem.lock().expect("cache lock");
+        mem.clock += 1;
+        let stamp = mem.clock;
+        if let Some(old) = mem.map.insert(key, MemEntry { payload: Arc::clone(&payload), stamp }) {
+            mem.bytes -= old.payload.len();
+        }
+        mem.bytes += payload.len();
+        // Evict least-recently-used entries until back under both caps.
+        // (But never the entry just inserted, even if it alone exceeds
+        // the byte cap — a cache that refuses oversized results would
+        // silently degrade to recompute-always for big cells.)
+        while mem.map.len() > self.config.max_entries.max(1)
+            || (mem.bytes > self.config.max_bytes && mem.map.len() > 1)
+        {
+            let victim = mem
+                .map
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    let e = mem.map.remove(&k).expect("victim present");
+                    mem.bytes -= e.payload.len();
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn disk_read(&self, key: u64) -> Option<String> {
+        let path = self.entry_path(key)?;
+        let raw = std::fs::read_to_string(&path).ok()?;
+        match parse_disk_entry(&raw) {
+            Some(payload) => Some(payload.to_string()),
+            None => {
+                // Corrupted (truncated write, bit rot, tampering):
+                // count it, drop it, let the caller recompute.
+                self.poisoned.fetch_add(1, Ordering::Relaxed);
+                let _ = std::fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    fn disk_write(&self, key: u64, payload: &str) {
+        let Some(path) = self.entry_path(key) else {
+            return;
+        };
+        // Write-to-temp + rename so a crashed or concurrent writer can
+        // never leave a half-entry under the final name. Disk-tier
+        // failures are deliberately non-fatal: the server degrades to
+        // memory-only caching rather than failing requests.
+        let tmp = path.with_extension(format!("tmp.{:x}", std::process::id()));
+        let body = format!(
+            "{} {:016x}\n{payload}",
+            wire::CACHE_MAGIC,
+            wire::cache_checksum(payload)
+        );
+        if std::fs::write(&tmp, body).is_ok() && std::fs::rename(&tmp, &path).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+
+    /// Entries currently resident in the memory tier.
+    pub fn mem_entries(&self) -> usize {
+        self.mem.lock().expect("cache lock").map.len()
+    }
+
+    /// Payload bytes currently resident in the memory tier.
+    pub fn mem_bytes(&self) -> usize {
+        self.mem.lock().expect("cache lock").bytes
+    }
+
+    fn counters(&self) -> (u64, u64, u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.disk_hits.load(Ordering::Relaxed),
+            self.poisoned.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Validates a disk entry's header and checksum, returning the payload.
+fn parse_disk_entry(raw: &str) -> Option<&str> {
+    let (header, payload) = raw.split_once('\n')?;
+    let sum = header.strip_prefix(wire::CACHE_MAGIC)?.trim();
+    let sum = u64::from_str_radix(sum, 16).ok()?;
+    (sum == wire::cache_checksum(payload)).then_some(payload)
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// Server configuration (`repro serve` flags).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `"127.0.0.1:6121"` (`:0` = ephemeral port).
+    pub addr: String,
+    /// Worker threads in the shared measurement pool (`0` = one per CPU).
+    pub workers: usize,
+    /// Result-cache sizing and disk tier.
+    pub cache: CacheConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            cache: CacheConfig::default(),
+        }
+    }
+}
+
+struct ServerShared {
+    pool: PriorityPool,
+    cache: CellCache,
+    addr: SocketAddr,
+    stop: AtomicBool,
+    requests: AtomicU64,
+    grids: AtomicU64,
+}
+
+impl ServerShared {
+    fn stats(&self) -> ServeStats {
+        let (hits, misses, disk_hits, poisoned) = self.cache.counters();
+        ServeStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            grids: self.grids.load(Ordering::Relaxed),
+            hits,
+            misses,
+            disk_hits,
+            poisoned,
+            mem_entries: self.cache.mem_entries() as u64,
+            mem_bytes: self.cache.mem_bytes() as u64,
+            workers: self.pool.workers() as u64,
+        }
+    }
+}
+
+/// A running `countd` instance. Dropping it (or calling
+/// [`Server::stop`]) shuts the accept loop down and joins every
+/// connection handler.
+pub struct Server {
+    shared: Arc<ServerShared>,
+    acceptor: Option<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the accept loop and returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Serve`] if the address cannot be bound or the cache
+    /// directory cannot be created.
+    pub fn spawn(config: ServeConfig) -> Result<Server> {
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| serr(format!("binding {}: {e}", config.addr)))?;
+        let addr = listener.local_addr().map_err(serr)?;
+        let shared = Arc::new(ServerShared {
+            pool: PriorityPool::new(config.workers),
+            cache: CellCache::new(config.cache)?,
+            addr,
+            stop: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            grids: AtomicU64::new(0),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let acceptor = thread::Builder::new()
+            .name("countd-accept".to_string())
+            .spawn(move || accept_loop(&listener, &accept_shared))
+            .map_err(serr)?;
+        Ok(Server {
+            shared,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (with the actual port when `:0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Current serving statistics.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.stats()
+    }
+
+    /// Signals the accept loop to stop and joins it (and, transitively,
+    /// every connection handler it spawned).
+    pub fn stop(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Poke the (possibly blocked) acceptor with a throwaway
+        // connection so it observes the flag.
+        let _ = TcpStream::connect(self.shared.addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Blocks until the server stops (a client `SHUTDOWN`, or
+    /// [`Server::stop`] from another thread).
+    pub fn join(mut self) {
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() {
+            self.stop();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
+    let mut handlers: Vec<thread::JoinHandle<()>> = Vec::new();
+    while !shared.stop.load(Ordering::SeqCst) {
+        let Ok((stream, _)) = listener.accept() else {
+            continue;
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            break; // `stream` is the shutdown poke.
+        }
+        let shared = Arc::clone(shared);
+        if let Ok(handle) = thread::Builder::new()
+            .name("countd-conn".to_string())
+            .spawn(move || handle_connection(stream, &shared))
+        {
+            handlers.push(handle);
+        }
+        // Reap finished handlers so a long-lived server doesn't
+        // accumulate one JoinHandle per past connection.
+        handlers.retain(|h| !h.is_finished());
+    }
+    for handle in handlers {
+        let _ = handle.join();
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let request = match wire::read_request(&mut reader) {
+        Ok(request) => request,
+        Err(e) => {
+            let _ = wire::write_error_response(&mut writer, &e);
+            let _ = writer.flush();
+            return;
+        }
+    };
+    shared.requests.fetch_add(1, Ordering::Relaxed);
+    let outcome = match request {
+        Request::Ping => writeln!(writer, "{} OK kind=pong", wire::MAGIC).map_err(serr),
+        Request::Stats => shared.stats().write(&mut writer).map_err(serr),
+        Request::Shutdown => {
+            let done = writeln!(writer, "{} OK kind=bye", wire::MAGIC).map_err(serr);
+            let _ = writer.flush();
+            shared.stop.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(shared.addr); // wake the acceptor
+            done
+        }
+        Request::Grid { grid, priority } => handle_grid(&mut writer, shared, &grid, priority),
+        Request::Experiment {
+            id,
+            scale,
+            streaming,
+        } => handle_experiment(&mut writer, &id, &scale, streaming),
+    };
+    if let Err(e) = outcome {
+        let _ = wire::write_error_response(&mut writer, &e);
+    }
+    let _ = writer.flush();
+}
+
+/// Serves one grid request: cache lookups, pool-scheduled misses,
+/// in-order streaming of the per-cell payloads.
+fn handle_grid<W: Write>(
+    writer: &mut W,
+    shared: &Arc<ServerShared>,
+    grid: &Grid,
+    priority: Priority,
+) -> Result<()> {
+    shared.grids.fetch_add(1, Ordering::Relaxed);
+    grid.validate()?;
+    let cells: Vec<MeasurementConfig> = grid.cells().collect();
+    let keys: Vec<u64> = cells
+        .iter()
+        .map(|c| wire::cell_key(c, grid.benchmark, grid.reps, grid.base_seed, grid.fresh_boot))
+        .collect();
+    let mut payloads: Vec<Option<Arc<String>>> =
+        keys.iter().map(|&k| shared.cache.get(k)).collect();
+    let missing: Vec<usize> = (0..cells.len()).filter(|&i| payloads[i].is_none()).collect();
+
+    // Compute every miss as one job on the shared pool; an interactive
+    // request's cells jump ahead of queued bulk cells.
+    let (tx, rx) = mpsc::channel::<(usize, Result<String>)>();
+    let grid = Arc::new(grid.clone());
+    for &i in &missing {
+        let tx = tx.clone();
+        let grid = Arc::clone(&grid);
+        let cell = cells[i];
+        shared.pool.submit(priority, move || {
+            let payload = grid.run_cell(&cell).map(|records| {
+                let mut block = String::new();
+                for record in &records {
+                    block.push_str(&wire::encode_record(record));
+                }
+                block
+            });
+            let _ = tx.send((i, payload));
+        });
+    }
+    drop(tx);
+    let mut first_error: Option<(usize, CoreError)> = None;
+    for (i, outcome) in rx {
+        match outcome {
+            Ok(block) => {
+                let payload = Arc::new(block);
+                shared.cache.put(keys[i], Arc::clone(&payload));
+                payloads[i] = Some(payload);
+            }
+            // Lowest cell index wins, matching the deterministic
+            // error-reporting rule of the local engine.
+            Err(e) if first_error.as_ref().is_none_or(|(j, _)| i < *j) => {
+                first_error = Some((i, e));
+            }
+            Err(_) => {}
+        }
+    }
+    if let Some((_, e)) = first_error {
+        return Err(e);
+    }
+
+    let meta = GridMeta {
+        cells: cells.len(),
+        reps: grid.reps,
+        records: cells.len() * grid.reps,
+        hits: cells.len() - missing.len(),
+        misses: missing.len(),
+    };
+    wire::write_grid_response_header(writer, &meta).map_err(serr)?;
+    for payload in payloads.into_iter().flatten() {
+        writer.write_all(payload.as_bytes()).map_err(serr)?;
+    }
+    writeln!(writer, ".").map_err(serr)?;
+    Ok(())
+}
+
+fn handle_experiment<W: Write>(writer: &mut W, id: &str, scale: &str, streaming: bool) -> Result<()> {
+    let exp = experiment::find(id)
+        .ok_or_else(|| CoreError::Protocol(format!("unknown experiment {id:?}")))?;
+    let scale = Scale::from_name(scale)
+        .ok_or_else(|| CoreError::Protocol(format!("unknown scale {scale:?}")))?;
+    let ctx = ExperimentCtx {
+        scale,
+        // Sequential: grid work is what the shared pool is for; the
+        // occasional served experiment must not oversubscribe it.
+        opts: RunOptions::sequential(),
+        mode: if streaming {
+            EngineMode::Streaming
+        } else {
+            EngineMode::Batch
+        },
+        ablations: Vec::new(),
+    };
+    let report = exp.run(&ctx)?;
+    writeln!(writer, "{} OK kind=report id={}", wire::MAGIC, exp.id()).map_err(serr)?;
+    wire::write_report(&mut *writer, report).map_err(|e| serr(format!("streaming report: {e}")))?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+fn connect(addr: &str) -> Result<TcpStream> {
+    let stream = TcpStream::connect(addr).map_err(|e| serr(format!("connecting {addr}: {e}")))?;
+    let _ = stream.set_nodelay(true);
+    Ok(stream)
+}
+
+fn split_stream(stream: TcpStream) -> Result<(BufReader<TcpStream>, BufWriter<TcpStream>)> {
+    let read_half = stream.try_clone().map_err(serr)?;
+    Ok((BufReader::new(read_half), BufWriter::new(stream)))
+}
+
+/// The scheduling class a grid earns by size: small sweeps (a screenful
+/// of records) ride the interactive queue, anything larger is bulk.
+pub fn auto_priority(grid: &Grid) -> Priority {
+    if grid.cells().count() * grid.reps <= 1024 {
+        Priority::Interactive
+    } else {
+        Priority::Bulk
+    }
+}
+
+/// Requests a grid and returns the response metadata plus the raw
+/// record-block bytes, exactly as served (the byte-identity oracle
+/// compares these against a local run's encoding).
+///
+/// # Errors
+///
+/// [`CoreError::Serve`] on connection failure, [`CoreError::Protocol`]
+/// on malformed responses or server-reported errors.
+pub fn request_grid_raw(addr: &str, grid: &Grid, priority: Priority) -> Result<(GridMeta, String)> {
+    let (mut reader, mut writer) = split_stream(connect(addr)?)?;
+    wire::write_grid_request(&mut writer, grid, priority).map_err(serr)?;
+    writer.flush().map_err(serr)?;
+    let head = wire::read_response_head(&mut reader)?;
+    if head.kind != "grid" {
+        return Err(CoreError::Protocol(format!(
+            "expected kind=grid, got {:?}",
+            head.kind
+        )));
+    }
+    let meta = head.grid_meta()?;
+    let mut body = String::new();
+    let mut lines = 0usize;
+    loop {
+        let line = read_body_line(&mut reader)?;
+        if line == "." {
+            break;
+        }
+        lines += 1;
+        body.push_str(&line);
+        body.push('\n');
+    }
+    if lines != meta.records {
+        return Err(CoreError::Protocol(format!(
+            "grid body has {lines} records, header promised {}",
+            meta.records
+        )));
+    }
+    Ok((meta, body))
+}
+
+/// Requests a grid and decodes the records (in the same deterministic
+/// cell-major, repetition-minor order the local engine produces).
+///
+/// # Errors
+///
+/// As [`request_grid_raw`], plus decode failures.
+pub fn request_grid(addr: &str, grid: &Grid, priority: Priority) -> Result<(GridMeta, Vec<Record>)> {
+    let (meta, body) = request_grid_raw(addr, grid, priority)?;
+    let mut records = Vec::with_capacity(meta.records);
+    for line in body.lines() {
+        records.push(wire::decode_record(line)?);
+    }
+    Ok((meta, records))
+}
+
+/// Fetches the server's statistics.
+///
+/// # Errors
+///
+/// Connection and protocol failures.
+pub fn request_stats(addr: &str) -> Result<ServeStats> {
+    let (mut reader, mut writer) = split_stream(connect(addr)?)?;
+    wire::write_plain_request(&mut writer, "STATS").map_err(serr)?;
+    writer.flush().map_err(serr)?;
+    let head = wire::read_response_head(&mut reader)?;
+    ServeStats::from_head(&head)
+}
+
+/// Liveness check.
+///
+/// # Errors
+///
+/// Connection and protocol failures, or a non-pong answer.
+pub fn request_ping(addr: &str) -> Result<()> {
+    let (mut reader, mut writer) = split_stream(connect(addr)?)?;
+    wire::write_plain_request(&mut writer, "PING").map_err(serr)?;
+    writer.flush().map_err(serr)?;
+    let head = wire::read_response_head(&mut reader)?;
+    if head.kind != "pong" {
+        return Err(CoreError::Protocol(format!(
+            "expected kind=pong, got {:?}",
+            head.kind
+        )));
+    }
+    Ok(())
+}
+
+/// Asks the server to shut down (it finishes in-flight requests first).
+///
+/// # Errors
+///
+/// Connection and protocol failures.
+pub fn request_shutdown(addr: &str) -> Result<()> {
+    let (mut reader, mut writer) = split_stream(connect(addr)?)?;
+    wire::write_plain_request(&mut writer, "SHUTDOWN").map_err(serr)?;
+    writer.flush().map_err(serr)?;
+    let head = wire::read_response_head(&mut reader)?;
+    if head.kind != "bye" {
+        return Err(CoreError::Protocol(format!(
+            "expected kind=bye, got {:?}",
+            head.kind
+        )));
+    }
+    Ok(())
+}
+
+/// Runs a registered experiment on the server and returns its artifacts.
+///
+/// # Errors
+///
+/// Connection and protocol failures, unknown ids/scales (as
+/// server-reported errors), experiment run failures.
+pub fn request_experiment(
+    addr: &str,
+    id: &str,
+    scale: &str,
+    streaming: bool,
+) -> Result<Vec<WireArtifact>> {
+    let (mut reader, mut writer) = split_stream(connect(addr)?)?;
+    wire::write_experiment_request(&mut writer, id, scale, streaming).map_err(serr)?;
+    writer.flush().map_err(serr)?;
+    let head = wire::read_response_head(&mut reader)?;
+    if head.kind != "report" {
+        return Err(CoreError::Protocol(format!(
+            "expected kind=report, got {:?}",
+            head.kind
+        )));
+    }
+    wire::read_artifacts(&mut reader)
+}
+
+fn read_body_line(reader: &mut BufReader<TcpStream>) -> Result<String> {
+    use std::io::BufRead;
+    let mut line = String::new();
+    let n = reader.read_line(&mut line).map_err(serr)?;
+    if n == 0 {
+        return Err(CoreError::Protocol("unexpected end of stream".to_string()));
+    }
+    if line.ends_with('\n') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// Corrupts one byte of an on-disk cache entry — test-support for the
+/// poisoning defense (kept here so integration tests don't reimplement
+/// the entry layout).
+///
+/// # Errors
+///
+/// [`CoreError::Serve`] if the entry cannot be read or rewritten.
+#[doc(hidden)]
+pub fn corrupt_disk_entry(path: &Path) -> Result<()> {
+    let mut raw = std::fs::read(path).map_err(serr)?;
+    let last = raw.len().saturating_sub(1);
+    raw[last] ^= 0x41;
+    std::fs::write(path, raw).map_err(serr)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmark::Benchmark;
+
+    fn tiny_grid() -> Grid {
+        let mut g = Grid::new(Benchmark::Null);
+        g.interfaces = vec![crate::interface::Interface::Pm];
+        g.patterns = vec![crate::pattern::Pattern::StartRead];
+        g.modes = vec![crate::interface::CountingMode::User];
+        g.processors = vec![counterlab_cpu::uarch::Processor::PentiumD];
+        g.counter_counts = vec![1];
+        g.tsc_settings = vec![true];
+        g.opt_levels = vec![crate::config::OptLevel::O0];
+        g.reps = 3;
+        g.hz = 0;
+        g
+    }
+
+    #[test]
+    fn cache_mem_tier_hit_and_lru_eviction() {
+        let cache = CellCache::new(CacheConfig {
+            max_entries: 2,
+            max_bytes: usize::MAX,
+            dir: None,
+        })
+        .unwrap();
+        assert!(cache.get(1).is_none());
+        cache.put(1, Arc::new("one".into()));
+        cache.put(2, Arc::new("two".into()));
+        assert_eq!(cache.get(1).unwrap().as_str(), "one"); // 1 now MRU
+        cache.put(3, Arc::new("three".into())); // evicts 2
+        assert_eq!(cache.mem_entries(), 2);
+        assert!(cache.get(2).is_none());
+        assert_eq!(cache.get(1).unwrap().as_str(), "one");
+        assert_eq!(cache.get(3).unwrap().as_str(), "three");
+        let (hits, misses, disk_hits, poisoned) = cache.counters();
+        assert_eq!((hits, misses, disk_hits, poisoned), (3, 2, 0, 0));
+    }
+
+    #[test]
+    fn cache_byte_cap_keeps_newest_entry_even_when_oversized() {
+        let cache = CellCache::new(CacheConfig {
+            max_entries: 100,
+            max_bytes: 8,
+            dir: None,
+        })
+        .unwrap();
+        cache.put(1, Arc::new("aaaa".into()));
+        cache.put(2, Arc::new("bbbbbbbbbbbbbbbb".into())); // over the cap alone
+        assert!(cache.get(1).is_none(), "older entry evicted by byte cap");
+        assert_eq!(cache.get(2).unwrap().len(), 16, "oversized newest survives");
+    }
+
+    #[test]
+    fn cache_disk_tier_roundtrip_and_poisoning() {
+        let dir = std::env::temp_dir().join(format!("countd-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let payload = "PD,pm,sr,0,1,1,user,cycles,7,0,null,0,5,1\n";
+        {
+            let cache = CellCache::new(CacheConfig {
+                dir: Some(dir.clone()),
+                ..CacheConfig::default()
+            })
+            .unwrap();
+            cache.put(0xABC, Arc::new(payload.to_string()));
+        }
+        // A fresh cache (cold memory tier) must hit disk.
+        let cache = CellCache::new(CacheConfig {
+            dir: Some(dir.clone()),
+            ..CacheConfig::default()
+        })
+        .unwrap();
+        assert_eq!(cache.get(0xABC).unwrap().as_str(), payload);
+        assert_eq!(cache.counters().2, 1, "one disk hit");
+
+        // Corrupt the entry: a fresh cache must detect, count and recompute.
+        let path = dir.join(format!("{:016x}.cell", 0xABCu64));
+        corrupt_disk_entry(&path).unwrap();
+        let cache = CellCache::new(CacheConfig {
+            dir: Some(dir.clone()),
+            ..CacheConfig::default()
+        })
+        .unwrap();
+        assert!(cache.get(0xABC).is_none(), "corrupt entry must not be served");
+        assert_eq!(cache.counters().3, 1, "poisoning detected and counted");
+        assert!(!path.exists(), "corrupt entry removed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn server_answers_ping_stats_and_shutdown() {
+        let server = Server::spawn(ServeConfig::default()).unwrap();
+        let addr = server.addr().to_string();
+        request_ping(&addr).unwrap();
+        let stats = request_stats(&addr).unwrap();
+        assert_eq!(stats.grids, 0);
+        assert!(stats.workers >= 1);
+        request_shutdown(&addr).unwrap();
+        server.join();
+        assert!(request_ping(&addr).is_err(), "server is gone");
+    }
+
+    #[test]
+    fn served_grid_matches_local_run_and_caches() {
+        let grid = tiny_grid();
+        let mut server = Server::spawn(ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.addr().to_string();
+        let local = grid.run_with(&RunOptions::sequential()).unwrap();
+        let (meta, records) = request_grid(&addr, &grid, Priority::Interactive).unwrap();
+        assert_eq!(meta.misses, meta.cells);
+        assert_eq!(records, local);
+        let (meta2, records2) = request_grid(&addr, &grid, Priority::Bulk).unwrap();
+        assert_eq!(meta2.hits, meta2.cells, "second request fully cached");
+        assert_eq!(records2, local);
+        server.stop();
+    }
+
+    #[test]
+    fn served_errors_are_reported_not_hung() {
+        let mut grid = tiny_grid();
+        grid.counter_counts = vec![0];
+        let mut server = Server::spawn(ServeConfig::default()).unwrap();
+        let addr = server.addr().to_string();
+        let err = request_grid(&addr, &grid, Priority::Interactive).unwrap_err();
+        assert!(err.to_string().contains("zero"), "{err}");
+        // The connection and server survive for the next request.
+        request_ping(&addr).unwrap();
+        server.stop();
+    }
+
+    #[test]
+    fn auto_priority_splits_on_size() {
+        let mut g = tiny_grid();
+        assert_eq!(auto_priority(&g), Priority::Interactive);
+        g.reps = 100_000;
+        assert_eq!(auto_priority(&g), Priority::Bulk);
+    }
+}
