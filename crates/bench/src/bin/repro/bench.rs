@@ -55,6 +55,7 @@ mod alloc_count {
     // with the caller's layout; the counter is side-effect-free.
     unsafe impl GlobalAlloc for Counting {
         unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            // countlint: allow(undocumented-relaxed-atomic) -- allocation tally read only after the timed section joins; per-call ordering is irrelevant
             ALLOCS.fetch_add(1, Ordering::Relaxed);
             System.alloc(layout)
         }
@@ -64,11 +65,13 @@ mod alloc_count {
         }
 
         unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            // countlint: allow(undocumented-relaxed-atomic) -- allocation tally read only after the timed section joins; per-call ordering is irrelevant
             ALLOCS.fetch_add(1, Ordering::Relaxed);
             System.realloc(ptr, layout, new_size)
         }
 
         unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            // countlint: allow(undocumented-relaxed-atomic) -- allocation tally read only after the timed section joins; per-call ordering is irrelevant
             ALLOCS.fetch_add(1, Ordering::Relaxed);
             System.alloc_zeroed(layout)
         }
@@ -79,6 +82,7 @@ mod alloc_count {
 
     /// Allocation calls since process start.
     pub fn allocations() -> u64 {
+        // countlint: allow(undocumented-relaxed-atomic) -- allocation tally read only after the timed section joins; per-call ordering is irrelevant
         ALLOCS.load(Ordering::Relaxed)
     }
 }

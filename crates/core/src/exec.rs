@@ -15,7 +15,7 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 
 use crate::{CoreError, Result};
 
@@ -165,6 +165,7 @@ where
             if stop.load(Ordering::Acquire) {
                 break;
             }
+            // countlint: allow(undocumented-relaxed-atomic) -- unique-index dispenser: only per-index uniqueness matters (any RMW ordering gives it); results are published by thread join, not by this atomic
             let i = next.fetch_add(1, Ordering::Relaxed);
             if i >= total {
                 break;
@@ -172,13 +173,19 @@ where
             match work(i) {
                 Ok(value) => {
                     local.push((i, value));
+                    // countlint: allow(undocumented-relaxed-atomic) -- monotone progress counter consumed as a high-water mark; no data is published under it
                     let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
                     if let Some(progress) = opts.progress {
                         progress(done, total);
                     }
                 }
                 Err(e) => {
-                    let mut guard = first_error.lock().expect("engine error mutex");
+                    // Recover a poisoned lock: the slot only ever holds
+                    // a complete `Some((index, error))`, so whatever a
+                    // panicking peer left behind is still meaningful.
+                    let mut guard = first_error
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner);
                     if guard.as_ref().is_none_or(|(at, _)| i < *at) {
                         *guard = Some((i, e));
                     }
@@ -194,19 +201,26 @@ where
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..jobs).map(|_| scope.spawn(worker)).collect();
         for handle in handles {
+            // countlint: allow(panic-in-serving-path) -- a worker panicked: the sweep is already lost and re-raising the panic at join is the correct propagation
             parts.push(handle.join().expect("engine worker panicked"));
         }
     });
 
-    if let Some((_, e)) = first_error.into_inner().expect("engine error mutex") {
+    if let Some((_, e)) = first_error
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+    {
         return Err(e);
     }
     let mut slots: Vec<Option<T>> = (0..total).map(|_| None).collect();
     for (i, value) in parts.into_iter().flatten() {
-        slots[i] = Some(value);
+        if let Some(slot) = slots.get_mut(i) {
+            *slot = Some(value);
+        }
     }
     Ok(slots
         .into_iter()
+        // countlint: allow(panic-in-serving-path) -- an empty slot means the engine lost a claimed index entirely; that bug must abort, silently dropping results would corrupt every downstream artifact
         .map(|slot| slot.expect("every index ran to completion"))
         .collect())
 }
@@ -272,19 +286,26 @@ where
             if stop.load(Ordering::Acquire) {
                 break;
             }
+            // countlint: allow(undocumented-relaxed-atomic) -- unique-index dispenser: only per-index uniqueness matters (any RMW ordering gives it); results are published by thread join, not by this atomic
             let i = next.fetch_add(1, Ordering::Relaxed);
             if i >= total {
                 break;
             }
             match work(i, &mut shard) {
                 Ok(()) => {
+                    // countlint: allow(undocumented-relaxed-atomic) -- monotone progress counter consumed as a high-water mark; no data is published under it
                     let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
                     if let Some(progress) = opts.progress {
                         progress(done, total);
                     }
                 }
                 Err(e) => {
-                    let mut guard = first_error.lock().expect("engine error mutex");
+                    // Recover a poisoned lock: the slot only ever holds
+                    // a complete `Some((index, error))`, so whatever a
+                    // panicking peer left behind is still meaningful.
+                    let mut guard = first_error
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner);
                     if guard.as_ref().is_none_or(|(at, _)| i < *at) {
                         *guard = Some((i, e));
                     }
@@ -302,11 +323,15 @@ where
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..jobs).map(|_| scope.spawn(worker)).collect();
         for handle in handles {
+            // countlint: allow(panic-in-serving-path) -- a worker panicked: the sweep is already lost and re-raising the panic at join is the correct propagation
             shards.push(handle.join().expect("engine worker panicked"));
         }
     });
 
-    if let Some((_, e)) = first_error.into_inner().expect("engine error mutex") {
+    if let Some((_, e)) = first_error
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+    {
         return Err(e);
     }
     let mut merged = shards.remove(0);
@@ -384,6 +409,7 @@ where
             for rep in first_rep..first_rep + len {
                 out.push(work(&mut st, cell * reps + rep)?);
                 if let Some(progress) = opts.progress {
+                    // countlint: allow(undocumented-relaxed-atomic) -- monotone progress counter consumed as a high-water mark; no data is published under it
                     progress(completed.fetch_add(1, Ordering::Relaxed) + 1, total);
                 }
             }
@@ -527,6 +553,7 @@ impl PriorityPool {
                 std::thread::Builder::new()
                     .name(format!("countd-worker-{n}"))
                     .spawn(move || Self::worker_loop(&shared))
+                    // countlint: allow(panic-in-serving-path) -- pool construction happens at server startup, before any request is in flight; a host that cannot spawn threads cannot serve at all
                     .expect("spawn pool worker")
             })
             .collect();
@@ -547,7 +574,14 @@ impl PriorityPool {
     where
         F: FnOnce() + Send + 'static,
     {
-        let mut queues = self.shared.queues.lock().expect("pool queue mutex");
+        // Recover a poisoned queue lock: jobs are boxed closures pushed
+        // and popped whole, so a panicking worker cannot leave a
+        // half-queued job behind.
+        let mut queues = self
+            .shared
+            .queues
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         match priority {
             Priority::Interactive => queues.interactive.push_back(Box::new(job)),
             Priority::Bulk => queues.bulk.push_back(Box::new(job)),
@@ -559,7 +593,10 @@ impl PriorityPool {
     fn worker_loop(shared: &PoolShared) {
         loop {
             let job = {
-                let mut queues = shared.queues.lock().expect("pool queue mutex");
+                let mut queues = shared
+                    .queues
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
                 loop {
                     // Interactive first — this single pop order *is* the
                     // priority semantics.
@@ -572,7 +609,10 @@ impl PriorityPool {
                     if queues.shutdown {
                         break None;
                     }
-                    queues = shared.ready.wait(queues).expect("pool queue mutex");
+                    queues = shared
+                        .ready
+                        .wait(queues)
+                        .unwrap_or_else(PoisonError::into_inner);
                 }
             };
             match job {
@@ -586,7 +626,11 @@ impl PriorityPool {
 impl Drop for PriorityPool {
     fn drop(&mut self) {
         {
-            let mut queues = self.shared.queues.lock().expect("pool queue mutex");
+            let mut queues = self
+                .shared
+                .queues
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             queues.shutdown = true;
         }
         self.shared.ready.notify_all();

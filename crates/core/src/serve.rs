@@ -26,12 +26,12 @@
 //! The client side lives here too ([`request_grid`], [`request_stats`],
 //! …) so `repro client` and the tests speak through one implementation.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::thread;
 
 use crate::config::MeasurementConfig;
@@ -79,7 +79,11 @@ struct MemEntry {
 
 #[derive(Default)]
 struct MemTier {
-    map: HashMap<u64, MemEntry>,
+    /// Keyed by cell key. A `BTreeMap` (not `HashMap`) on purpose:
+    /// iteration order is the key order, so eviction victim selection is
+    /// deterministic across processes — `HashMap`'s per-process
+    /// `RandomState` would make stamp ties break differently run to run.
+    map: BTreeMap<u64, MemEntry>,
     bytes: usize,
     clock: u64,
 }
@@ -116,6 +120,14 @@ impl CellCache {
         })
     }
 
+    /// Locks the memory tier, recovering from a poisoned lock: the tier
+    /// is a cache of immutable payloads behind complete insert/evict
+    /// operations, so the state a panicking thread left behind is at
+    /// worst under-evicted — continuing can cost memory, never bytes.
+    fn lock_mem(&self) -> MutexGuard<'_, MemTier> {
+        self.mem.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     fn entry_path(&self, key: u64) -> Option<PathBuf> {
         self.config
             .dir
@@ -127,22 +139,26 @@ impl CellCache {
     /// a disk hit is promoted into the memory tier.
     pub fn get(&self, key: u64) -> Option<Arc<String>> {
         {
-            let mut mem = self.mem.lock().expect("cache lock");
+            let mut mem = self.lock_mem();
             mem.clock += 1;
             let clock = mem.clock;
             if let Some(entry) = mem.map.get_mut(&key) {
                 entry.stamp = clock;
+                // countlint: allow(undocumented-relaxed-atomic) -- independent stat counter; nothing is published under it
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Some(Arc::clone(&entry.payload));
             }
         }
         if let Some(payload) = self.disk_read(key) {
+            // countlint: allow(undocumented-relaxed-atomic) -- independent stat counter; nothing is published under it
             self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            // countlint: allow(undocumented-relaxed-atomic) -- independent stat counter; nothing is published under it
             self.hits.fetch_add(1, Ordering::Relaxed);
             let payload = Arc::new(payload);
             self.insert_mem(key, Arc::clone(&payload));
             return Some(payload);
         }
+        // countlint: allow(undocumented-relaxed-atomic) -- independent stat counter; nothing is published under it
         self.misses.fetch_add(1, Ordering::Relaxed);
         None
     }
@@ -154,7 +170,7 @@ impl CellCache {
     }
 
     fn insert_mem(&self, key: u64, payload: Arc<String>) {
-        let mut mem = self.mem.lock().expect("cache lock");
+        let mut mem = self.lock_mem();
         mem.clock += 1;
         let stamp = mem.clock;
         if let Some(old) = mem.map.insert(key, MemEntry { payload: Arc::clone(&payload), stamp }) {
@@ -165,6 +181,12 @@ impl CellCache {
         // (But never the entry just inserted, even if it alone exceeds
         // the byte cap — a cache that refuses oversized results would
         // silently degrade to recompute-always for big cells.)
+        //
+        // Victim choice is fully deterministic: smallest stamp wins, and
+        // `min_by_key` keeps the *first* minimum of the BTreeMap's
+        // key-ascending iteration, so stamp ties break toward the
+        // smallest key — identical eviction pressure always leaves an
+        // identical resident set.
         while mem.map.len() > self.config.max_entries.max(1)
             || (mem.bytes > self.config.max_bytes && mem.map.len() > 1)
         {
@@ -174,13 +196,10 @@ impl CellCache {
                 .filter(|(k, _)| **k != key)
                 .min_by_key(|(_, e)| e.stamp)
                 .map(|(k, _)| *k);
-            match victim {
-                Some(k) => {
-                    let e = mem.map.remove(&k).expect("victim present");
-                    mem.bytes -= e.payload.len();
-                }
-                None => break,
-            }
+            let Some(evicted) = victim.and_then(|k| mem.map.remove(&k)) else {
+                break;
+            };
+            mem.bytes -= evicted.payload.len();
         }
     }
 
@@ -192,6 +211,7 @@ impl CellCache {
             None => {
                 // Corrupted (truncated write, bit rot, tampering):
                 // count it, drop it, let the caller recompute.
+                // countlint: allow(undocumented-relaxed-atomic) -- independent stat counter; nothing is published under it
                 self.poisoned.fetch_add(1, Ordering::Relaxed);
                 let _ = std::fs::remove_file(&path);
                 None
@@ -220,19 +240,28 @@ impl CellCache {
 
     /// Entries currently resident in the memory tier.
     pub fn mem_entries(&self) -> usize {
-        self.mem.lock().expect("cache lock").map.len()
+        self.lock_mem().map.len()
+    }
+
+    /// Resident cell keys of the memory tier, in key order.
+    pub fn mem_keys(&self) -> Vec<u64> {
+        self.lock_mem().map.keys().copied().collect()
     }
 
     /// Payload bytes currently resident in the memory tier.
     pub fn mem_bytes(&self) -> usize {
-        self.mem.lock().expect("cache lock").bytes
+        self.lock_mem().bytes
     }
 
     fn counters(&self) -> (u64, u64, u64, u64) {
         (
+            // countlint: allow(undocumented-relaxed-atomic) -- independent stat counter; nothing is published under it
             self.hits.load(Ordering::Relaxed),
+            // countlint: allow(undocumented-relaxed-atomic) -- independent stat counter; nothing is published under it
             self.misses.load(Ordering::Relaxed),
+            // countlint: allow(undocumented-relaxed-atomic) -- independent stat counter; nothing is published under it
             self.disk_hits.load(Ordering::Relaxed),
+            // countlint: allow(undocumented-relaxed-atomic) -- independent stat counter; nothing is published under it
             self.poisoned.load(Ordering::Relaxed),
         )
     }
@@ -283,16 +312,22 @@ struct ServerShared {
 impl ServerShared {
     fn stats(&self) -> ServeStats {
         let (hits, misses, disk_hits, poisoned) = self.cache.counters();
+        // usize → u64 widening can only fail on a >64-bit usize, which
+        // no supported target has; saturating keeps the stats path
+        // cast- and panic-free either way.
+        let wide = |n: usize| u64::try_from(n).unwrap_or(u64::MAX);
         ServeStats {
+            // countlint: allow(undocumented-relaxed-atomic) -- independent stat counter; nothing is published under it
             requests: self.requests.load(Ordering::Relaxed),
+            // countlint: allow(undocumented-relaxed-atomic) -- independent stat counter; nothing is published under it
             grids: self.grids.load(Ordering::Relaxed),
             hits,
             misses,
             disk_hits,
             poisoned,
-            mem_entries: self.cache.mem_entries() as u64,
-            mem_bytes: self.cache.mem_bytes() as u64,
-            workers: self.pool.workers() as u64,
+            mem_entries: wide(self.cache.mem_entries()),
+            mem_bytes: wide(self.cache.mem_bytes()),
+            workers: wide(self.pool.workers()),
         }
     }
 }
@@ -414,6 +449,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
             return;
         }
     };
+    // countlint: allow(undocumented-relaxed-atomic) -- independent stat counter; nothing is published under it
     shared.requests.fetch_add(1, Ordering::Relaxed);
     let outcome = match request {
         Request::Ping => writeln!(writer, "{} OK kind=pong", wire::MAGIC).map_err(serr),
@@ -446,6 +482,7 @@ fn handle_grid<W: Write>(
     grid: &Grid,
     priority: Priority,
 ) -> Result<()> {
+    // countlint: allow(undocumented-relaxed-atomic) -- independent stat counter; nothing is published under it
     shared.grids.fetch_add(1, Ordering::Relaxed);
     grid.validate()?;
     let cells: Vec<MeasurementConfig> = grid.cells().collect();
@@ -455,16 +492,24 @@ fn handle_grid<W: Write>(
         .collect();
     let mut payloads: Vec<Option<Arc<String>>> =
         keys.iter().map(|&k| shared.cache.get(k)).collect();
-    let missing: Vec<usize> = (0..cells.len()).filter(|&i| payloads[i].is_none()).collect();
+    // Misses as (index, key, cell) triples, resolved up front so neither
+    // the worker closures nor the receive loop index back into the
+    // parallel vectors.
+    let missing: Vec<(usize, u64, MeasurementConfig)> = payloads
+        .iter()
+        .zip(keys.iter().zip(&cells))
+        .enumerate()
+        .filter(|(_, (payload, _))| payload.is_none())
+        .map(|(i, (_, (&key, &cell)))| (i, key, cell))
+        .collect();
 
     // Compute every miss as one job on the shared pool; an interactive
     // request's cells jump ahead of queued bulk cells.
-    let (tx, rx) = mpsc::channel::<(usize, Result<String>)>();
+    let (tx, rx) = mpsc::channel::<(usize, u64, Result<String>)>();
     let grid = Arc::new(grid.clone());
-    for &i in &missing {
+    for &(i, key, cell) in &missing {
         let tx = tx.clone();
         let grid = Arc::clone(&grid);
-        let cell = cells[i];
         shared.pool.submit(priority, move || {
             let payload = grid.run_cell(&cell).map(|records| {
                 let mut block = String::new();
@@ -473,17 +518,19 @@ fn handle_grid<W: Write>(
                 }
                 block
             });
-            let _ = tx.send((i, payload));
+            let _ = tx.send((i, key, payload));
         });
     }
     drop(tx);
     let mut first_error: Option<(usize, CoreError)> = None;
-    for (i, outcome) in rx {
+    for (i, key, outcome) in rx {
         match outcome {
             Ok(block) => {
                 let payload = Arc::new(block);
-                shared.cache.put(keys[i], Arc::clone(&payload));
-                payloads[i] = Some(payload);
+                shared.cache.put(key, Arc::clone(&payload));
+                if let Some(slot) = payloads.get_mut(i) {
+                    *slot = Some(payload);
+                }
             }
             // Lowest cell index wins, matching the deterministic
             // error-reporting rule of the local engine.
@@ -714,8 +761,10 @@ fn read_body_line(reader: &mut BufReader<TcpStream>) -> Result<String> {
 #[doc(hidden)]
 pub fn corrupt_disk_entry(path: &Path) -> Result<()> {
     let mut raw = std::fs::read(path).map_err(serr)?;
-    let last = raw.len().saturating_sub(1);
-    raw[last] ^= 0x41;
+    let last = raw
+        .last_mut()
+        .ok_or_else(|| serr("cache entry is empty"))?;
+    *last ^= 0x41;
     std::fs::write(path, raw).map_err(serr)?;
     Ok(())
 }
@@ -758,6 +807,37 @@ mod tests {
         assert_eq!(cache.get(3).unwrap().as_str(), "three");
         let (hits, misses, disk_hits, poisoned) = cache.counters();
         assert_eq!((hits, misses, disk_hits, poisoned), (3, 2, 0, 0));
+    }
+
+    #[test]
+    fn cache_eviction_is_order_deterministic() {
+        // Two caches fed the exact same access sequence under the same
+        // pressure must end up with the exact same resident key set —
+        // including stamp *ties*, which the BTreeMap backing breaks
+        // toward the smallest key instead of HashMap's per-process
+        // RandomState order.
+        let run = || {
+            let cache = CellCache::new(CacheConfig {
+                max_entries: 4,
+                max_bytes: usize::MAX,
+                dir: None,
+            })
+            .unwrap();
+            // Eight inserts (evicting four), then touch two survivors in
+            // an order that manufactures equal-looking LRU pressure.
+            for key in [50u64, 40, 30, 20, 10, 60, 70, 80] {
+                cache.put(key, Arc::new(format!("payload-{key}")));
+            }
+            cache.get(10);
+            cache.get(60);
+            cache.put(90, Arc::new("payload-90".to_string()));
+            cache.mem_keys()
+        };
+        let first = run();
+        let second = run();
+        assert_eq!(first, second, "identical pressure, identical survivors");
+        assert_eq!(first.len(), 4);
+        assert!(first.contains(&90), "newest entry always survives");
     }
 
     #[test]

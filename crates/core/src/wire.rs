@@ -71,6 +71,79 @@ fn proto(msg: impl Into<String>) -> CoreError {
     CoreError::Protocol(msg.into())
 }
 
+/// Hard cap on any length-prefixed frame (artifact bytes, grid payload
+/// chunks). Real artifacts are kilobytes; a peer announcing more than
+/// this is corrupt or hostile, and rejecting up front keeps a bogus
+/// length from turning into an unbounded allocation.
+pub const MAX_FRAME_BYTES: u64 = 64 * 1024 * 1024;
+
+/// A typed decode failure for wire values that are *structurally*
+/// plausible but *numerically* untrustworthy.
+///
+/// Where a malformed token is a plain [`CoreError::Protocol`] parse
+/// error, `WireError` captures the cases where a well-formed number
+/// would previously have been truncated by an `as` cast or trusted as
+/// an allocation size. Codecs reject these instead; the variants keep
+/// the offending values so the error message names exactly what was
+/// rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// A count field does not fit in the platform's `usize`.
+    CountOverflow {
+        /// Which header field overflowed.
+        field: &'static str,
+        /// The value the peer sent.
+        value: u64,
+    },
+    /// Grid metadata whose record count is not `cells × reps`.
+    InconsistentMeta {
+        /// Announced cell count.
+        cells: u64,
+        /// Announced repetitions per cell.
+        reps: u64,
+        /// Announced total record count.
+        records: u64,
+    },
+    /// A length-prefixed frame announces more than [`MAX_FRAME_BYTES`].
+    FrameTooLarge {
+        /// What kind of frame was being read.
+        what: &'static str,
+        /// The announced length.
+        len: u64,
+        /// The cap it exceeded.
+        max: u64,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::CountOverflow { field, value } => {
+                write!(f, "wire field {field}={value} does not fit in usize")
+            }
+            WireError::InconsistentMeta { cells, reps, records } => write!(
+                f,
+                "grid meta inconsistent: records={records} but cells={cells} * reps={reps}"
+            ),
+            WireError::FrameTooLarge { what, len, max } => {
+                write!(f, "{what} frame of {len} bytes exceeds the {max}-byte cap")
+            }
+        }
+    }
+}
+
+impl From<WireError> for CoreError {
+    fn from(e: WireError) -> CoreError {
+        CoreError::Protocol(e.to_string())
+    }
+}
+
+/// Checked `u64 → usize` for wire counts; rejects with
+/// [`WireError::CountOverflow`] instead of truncating.
+fn to_count(field: &'static str, value: u64) -> Result<usize> {
+    usize::try_from(value).map_err(|_| WireError::CountOverflow { field, value }.into())
+}
+
 // ---------------------------------------------------------------------------
 // Record serialization
 // ---------------------------------------------------------------------------
@@ -112,29 +185,31 @@ pub fn encode_record(record: &Record) -> String {
 pub fn decode_record(line: &str) -> Result<Record> {
     let line = line.trim_end_matches('\n');
     let fields: Vec<&str> = line.split(',').collect();
-    if fields.len() != 14 {
+    let &[processor, interface, pattern, opt_level, counters, tsc, mode, event, seed, hz, bench, bench_iters, measured, expected] =
+        fields.as_slice()
+    else {
         return Err(proto(format!(
             "record line has {} fields, expected 14: {line:?}",
             fields.len()
         )));
-    }
+    };
     let config = MeasurementConfig {
-        processor: parse_processor(fields[0])?,
-        interface: parse_interface(fields[1])?,
-        pattern: parse_pattern(fields[2])?,
-        opt_level: parse_opt_level(fields[3])?,
-        counters: parse_num::<usize>("counters", fields[4])?,
-        tsc_on: parse_bool01("tsc", fields[5])?,
-        mode: parse_mode(fields[6])?,
-        event: parse_event(fields[7])?,
-        seed: parse_num::<u64>("seed", fields[8])?,
-        hz: parse_num::<u32>("hz", fields[9])?,
+        processor: parse_processor(processor)?,
+        interface: parse_interface(interface)?,
+        pattern: parse_pattern(pattern)?,
+        opt_level: parse_opt_level(opt_level)?,
+        counters: parse_num::<usize>("counters", counters)?,
+        tsc_on: parse_bool01("tsc", tsc)?,
+        mode: parse_mode(mode)?,
+        event: parse_event(event)?,
+        seed: parse_num::<u64>("seed", seed)?,
+        hz: parse_num::<u32>("hz", hz)?,
     };
     Ok(Record {
         config,
-        benchmark: parse_benchmark(fields[10], parse_num::<u64>("bench_iters", fields[11])?)?,
-        measured: parse_num::<u64>("measured", fields[12])?,
-        expected: parse_num::<u64>("expected", fields[13])?,
+        benchmark: parse_benchmark(bench, parse_num::<u64>("bench_iters", bench_iters)?)?,
+        measured: parse_num::<u64>("measured", measured)?,
+        expected: parse_num::<u64>("expected", expected)?,
     })
 }
 
@@ -252,15 +327,19 @@ pub fn decode_grid(line: &str) -> Result<Grid> {
             .ok_or_else(|| proto(format!("grid token without '=': {token:?}")))?;
         let slot = KEYS
             .iter()
-            .position(|k| *k == key)
+            .zip(values.iter_mut())
+            .find_map(|(k, v)| (*k == key).then_some(v))
             .ok_or_else(|| proto(format!("unknown grid key {key:?}")))?;
-        if values[slot].is_some() {
+        if slot.is_some() {
             return Err(proto(format!("duplicate grid key {key:?}")));
         }
-        values[slot] = Some(value);
+        *slot = Some(value);
     }
     let get = |key: &str| -> Result<&str> {
-        values[KEYS.iter().position(|k| *k == key).expect("known key")]
+        KEYS.iter()
+            .zip(&values)
+            .find_map(|(k, v)| (*k == key).then_some(*v))
+            .flatten()
             .ok_or_else(|| proto(format!("missing grid key {key:?}")))
     };
     fn list<T>(value: &str, parse: impl Fn(&str) -> Result<T>) -> Result<Vec<T>> {
@@ -553,14 +632,27 @@ impl ResponseHead {
     ///
     /// # Errors
     ///
-    /// [`CoreError::Protocol`] when fields are absent or non-numeric.
+    /// [`CoreError::Protocol`] when fields are absent or non-numeric,
+    /// when a count does not fit in `usize` ([`WireError::CountOverflow`])
+    /// or when `records != cells * reps`
+    /// ([`WireError::InconsistentMeta`]) — a server that miscounts its
+    /// own payload cannot be trusted to frame it either.
     pub fn grid_meta(&self) -> Result<GridMeta> {
+        let cells = self.num("cells")?;
+        let reps = self.num("reps")?;
+        let records = self.num("records")?;
+        let consistent = cells
+            .checked_mul(reps)
+            .is_some_and(|expected| expected == records);
+        if !consistent {
+            return Err(WireError::InconsistentMeta { cells, reps, records }.into());
+        }
         Ok(GridMeta {
-            cells: self.num("cells")? as usize,
-            reps: self.num("reps")? as usize,
-            records: self.num("records")? as usize,
-            hits: self.num("hits")? as usize,
-            misses: self.num("misses")? as usize,
+            cells: to_count("cells", cells)?,
+            reps: to_count("reps", reps)?,
+            records: to_count("records", records)?,
+            hits: to_count("hits", self.num("hits")?)?,
+            misses: to_count("misses", self.num("misses")?)?,
         })
     }
 }
@@ -872,7 +964,7 @@ pub fn read_artifacts<R: BufRead>(r: &mut R) -> Result<Vec<WireArtifact>> {
         }
         match kv_get(args, "kind")?.as_str() {
             "text" => {
-                let bytes = parse_num::<usize>("bytes", &kv_get(args, "bytes")?)?;
+                let bytes = checked_frame_len("artifact bytes", &kv_get(args, "bytes")?)?;
                 let content = read_exact_string(r, bytes)?;
                 expect_newline(r)?;
                 artifacts.push(WireArtifact {
@@ -887,7 +979,7 @@ pub fn read_artifacts<R: BufRead>(r: &mut R) -> Result<Vec<WireArtifact>> {
                 let rows = loop {
                     let frame = read_line(r)?;
                     if let Some(len) = frame.strip_prefix("chunk ") {
-                        let len = parse_num::<usize>("chunk length", len)?;
+                        let len = checked_frame_len("chunk length", len)?;
                         content.push_str(&read_exact_string(r, len)?);
                         expect_newline(r)?;
                     } else if let Some(count) = frame.strip_prefix("rows ") {
@@ -917,6 +1009,16 @@ fn kv_get(args: &str, key: &str) -> Result<String> {
         .ok_or_else(|| proto(format!("missing {key:?} in {args:?}")))
 }
 
+/// Parses a length prefix and enforces [`MAX_FRAME_BYTES`] before the
+/// caller allocates: a peer-supplied length is an allocation request.
+fn checked_frame_len(what: &'static str, raw: &str) -> Result<usize> {
+    let len = parse_num::<u64>(what, raw)?;
+    if len > MAX_FRAME_BYTES {
+        return Err(WireError::FrameTooLarge { what, len, max: MAX_FRAME_BYTES }.into());
+    }
+    to_count(what, len)
+}
+
 fn read_exact_string<R: BufRead>(r: &mut R, len: usize) -> Result<String> {
     let mut buf = vec![0u8; len];
     r.read_exact(&mut buf)
@@ -928,7 +1030,7 @@ fn expect_newline<R: BufRead>(r: &mut R) -> Result<()> {
     let mut b = [0u8; 1];
     r.read_exact(&mut b)
         .map_err(|e| CoreError::Serve(format!("read body: {e}")))?;
-    if b[0] != b'\n' {
+    if b != [b'\n'] {
         return Err(proto("length-prefixed body not newline-terminated".to_string()));
     }
     Ok(())
@@ -1123,6 +1225,61 @@ mod tests {
 
         let mut r = io::BufReader::new(&b"COUNTD/1 OK cells=3\n"[..]);
         assert!(read_response_head(&mut r).is_err(), "kind is mandatory");
+    }
+
+    #[test]
+    fn grid_meta_rejects_inconsistent_record_counts() {
+        let head = |line: &str| {
+            read_response_head(&mut io::BufReader::new(line.as_bytes())).unwrap()
+        };
+        // records != cells * reps: the server miscounted its own payload.
+        let err = head("COUNTD/1 OK kind=grid cells=3 reps=2 records=7 hits=0 misses=3\n")
+            .grid_meta()
+            .unwrap_err();
+        assert!(err.to_string().contains("inconsistent"), "{err}");
+        // cells * reps overflows u64: no consistent record count exists.
+        let line = format!(
+            "COUNTD/1 OK kind=grid cells={} reps=2 records=4 hits=0 misses=0\n",
+            u64::MAX
+        );
+        assert!(head(&line).grid_meta().is_err());
+        // The consistent header still parses.
+        let meta = head("COUNTD/1 OK kind=grid cells=3 reps=2 records=6 hits=1 misses=2\n")
+            .grid_meta()
+            .unwrap();
+        assert_eq!(meta.records, 6);
+    }
+
+    #[test]
+    fn artifact_frames_reject_oversized_lengths() {
+        // An announced length is an allocation request; past the cap it
+        // must be rejected before any buffer is sized from it.
+        let huge = MAX_FRAME_BYTES + 1;
+        let text = format!("artifact name=a.txt kind=text bytes={huge}\n");
+        let err = read_artifacts(&mut io::BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("exceeds"), "{err}");
+
+        let rows = format!("artifact name=b.csv kind=rows\nchunk {huge}\n");
+        let err = read_artifacts(&mut io::BufReader::new(rows.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("exceeds"), "{err}");
+
+        // At the boundary the length itself is accepted (the read then
+        // fails only because this test supplies no body).
+        let text = format!("artifact name=a.txt kind=text bytes={MAX_FRAME_BYTES}\n");
+        let err = read_artifacts(&mut io::BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(!err.to_string().contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn wire_error_messages_name_the_rejected_values() {
+        let e = WireError::CountOverflow { field: "cells", value: 7 };
+        assert_eq!(e.to_string(), "wire field cells=7 does not fit in usize");
+        let e = WireError::InconsistentMeta { cells: 3, reps: 2, records: 7 };
+        assert!(e.to_string().contains("records=7"));
+        let e = WireError::FrameTooLarge { what: "chunk length", len: 99, max: 10 };
+        assert!(e.to_string().contains("99"));
+        let core: CoreError = e.into();
+        assert!(matches!(core, CoreError::Protocol(_)));
     }
 
     #[test]

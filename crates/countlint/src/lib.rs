@@ -1,0 +1,199 @@
+//! countlint — dependency-free static analysis for the counterlab
+//! workspace.
+//!
+//! The laboratory's correctness story rests on invariants no compiler
+//! checks: results must be pure, bit-exact functions of their seeds
+//! (the content-addressed serve cache depends on it), the serving path
+//! must not panic while clients wait, and wire codecs must reject rather
+//! than truncate. countlint makes those invariants machine-checked.
+//!
+//! Because the workspace builds offline with no registry access, the
+//! linter parses nothing with `syn`: [`scan`] is a comment- and
+//! string-literal-aware lexical pass, [`rules`] holds the rule trait and
+//! the static registry (mirroring the `Experiment` registry idiom), and
+//! [`report`] renders deterministic text and JSON reports.
+//!
+//! Violations are suppressed inline with a justification pragma:
+//!
+//! ```text
+//! // countlint: allow(undocumented-relaxed-atomic) -- independent stat
+//! // counter; no other memory is published under this atomic.
+//! ```
+//!
+//! A pragma on its own line covers the next line that carries code; a
+//! trailing pragma covers its own line. Reasons are mandatory, and
+//! malformed pragmas are themselves (unsuppressable) violations.
+
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use report::Finding;
+use rules::{registry, PragmaHygiene};
+use scan::SourceFile;
+
+/// The result of linting a tree or a single source text.
+#[derive(Debug)]
+pub struct LintOutcome {
+    /// Unsuppressed violations in canonical `(file, line, rule)` order.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of findings silenced by a well-formed pragma.
+    pub suppressed: usize,
+}
+
+impl LintOutcome {
+    /// Whether the linted tree is clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Path components the walker never descends into or scans: build
+/// output, VCS metadata, and the linter's own known-bad fixture corpus.
+const SKIP_COMPONENTS: &[&str] = &["target", ".git", "lint_fixtures"];
+
+/// Lints every `.rs` file under `root`, returning findings with paths
+/// relative to `root` (`/`-separated).
+pub fn lint_root(root: &Path) -> io::Result<LintOutcome> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    files.sort();
+
+    let mut outcome = LintOutcome {
+        findings: Vec::new(),
+        files_scanned: 0,
+        suppressed: 0,
+    };
+    for path in files {
+        let rel = relative_slash_path(root, &path);
+        let source = fs::read_to_string(&path)?;
+        lint_one(&rel, &source, &mut outcome);
+    }
+    report::sort(&mut outcome.findings);
+    Ok(outcome)
+}
+
+/// Lints a single source text as if it lived at `virtual_path`
+/// (repo-relative, `/`-separated — rule scoping keys off it).
+pub fn lint_source(virtual_path: &str, source: &str) -> LintOutcome {
+    let mut outcome = LintOutcome {
+        findings: Vec::new(),
+        files_scanned: 0,
+        suppressed: 0,
+    };
+    lint_one(virtual_path, source, &mut outcome);
+    report::sort(&mut outcome.findings);
+    outcome
+}
+
+/// Scans one file and folds its findings into `outcome`, applying
+/// suppression pragmas (which never silence pragma-hygiene findings).
+fn lint_one(rel_path: &str, source: &str, outcome: &mut LintOutcome) {
+    let file = SourceFile::scan(rel_path, source);
+    outcome.files_scanned += 1;
+    for rule in registry() {
+        if !rule.applies_to(rel_path) {
+            continue;
+        }
+        for finding in rule.check(&file) {
+            let suppressible = rule.id() != PragmaHygiene::ID;
+            if suppressible && file.is_suppressed(rule.id(), finding.line) {
+                outcome.suppressed += 1;
+            } else {
+                outcome.findings.push(finding);
+            }
+        }
+    }
+}
+
+/// Recursively collects `.rs` files, skipping [`SKIP_COMPONENTS`].
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if SKIP_COMPONENTS.contains(&name.as_ref()) {
+            continue;
+        }
+        let kind = entry.file_type()?;
+        if kind.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if kind.is_file() && name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, `/`-separated regardless of platform.
+fn relative_slash_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_source_applies_suppression() {
+        let src = "\
+// countlint: allow(nondeterministic-iteration) -- never iterated; keyed reads only
+use std::collections::HashMap;
+use std::collections::HashSet;
+";
+        let out = lint_source("crates/x/src/lib.rs", src);
+        assert_eq!(out.suppressed, 1);
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].rule, "nondeterministic-iteration");
+        assert_eq!(out.findings[0].line, 3);
+    }
+
+    #[test]
+    fn malformed_pragma_cannot_suppress_itself() {
+        let src = "// countlint: allow(malformed-pragma) -- nice try\nlet x = 1;\n";
+        let out = lint_source("crates/x/src/lib.rs", src);
+        // The pragma parses, but it names the hygiene rule, whose
+        // findings ignore suppression; here it simply has no finding to
+        // suppress and is counted as nothing.
+        assert!(out.findings.is_empty());
+
+        let bad = "// countlint: allow(whatever)\nlet x = 1;\n";
+        let out = lint_source("crates/x/src/lib.rs", bad);
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].rule, "malformed-pragma");
+    }
+
+    #[test]
+    fn unknown_rule_pragma_is_flagged() {
+        let src = "// countlint: allow(not-a-rule) -- reason\nlet x = 1;\n";
+        let out = lint_source("crates/x/src/lib.rs", src);
+        assert_eq!(out.findings.len(), 1);
+        assert!(out.findings[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn findings_are_sorted_canonically() {
+        let src = "let t = Instant::now(); use std::collections::HashMap;\n";
+        let out = lint_source("crates/x/src/lib.rs", src);
+        assert_eq!(out.findings.len(), 2);
+        assert!(out.findings[0].rule < out.findings[1].rule);
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n";
+        let out = lint_source("crates/x/src/lib.rs", src);
+        assert!(out.is_clean());
+    }
+}

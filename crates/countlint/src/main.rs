@@ -1,0 +1,99 @@
+//! The countlint CLI.
+//!
+//! ```text
+//! cargo run -p countlint              # lint the workspace, text report
+//! cargo run -p countlint -- --json   # byte-stable JSON report
+//! cargo run -p countlint -- --list-rules
+//! cargo run -p countlint -- --root some/tree
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use countlint::{lint_root, report, rules};
+
+struct Options {
+    root: PathBuf,
+    json: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        json: false,
+        list_rules: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--list-rules" => opts.list_rules = true,
+            "--root" => {
+                let value = args
+                    .next()
+                    .ok_or_else(|| "--root requires a path argument".to_string())?;
+                opts.root = PathBuf::from(value);
+            }
+            "--help" | "-h" => {
+                return Err(String::new());
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+const USAGE: &str = "usage: countlint [--root <dir>] [--json] [--list-rules]
+
+Lints every .rs file under the root (default: current directory) against
+counterlab's determinism and serving-safety rules. Exits 0 when clean,
+1 when violations are found, 2 on usage or I/O errors.
+
+Suppress a finding with an inline pragma on (or directly above) the line:
+  // countlint: allow(<rule>) -- <why this is sound>";
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("countlint: {msg}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for rule in rules::registry() {
+            println!("{}\n    {}\n", rule.id(), rule.summary());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let outcome = match lint_root(&opts.root) {
+        Ok(outcome) => outcome,
+        Err(err) => {
+            eprintln!("countlint: failed to scan {}: {err}", opts.root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let rendered = if opts.json {
+        report::render_json(&outcome.findings, outcome.files_scanned, outcome.suppressed)
+    } else {
+        report::render_text(&outcome.findings, outcome.files_scanned, outcome.suppressed)
+    };
+    print!("{rendered}");
+
+    if outcome.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

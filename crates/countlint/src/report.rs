@@ -1,0 +1,175 @@
+//! Findings and the text / JSON reporters.
+//!
+//! Both renderers are deterministic: findings are sorted by
+//! `(file, line, rule, message)` before rendering, and the JSON encoder
+//! emits keys in a fixed order with no whitespace variation, so the JSON
+//! report for a given tree is byte-stable across runs and platforms.
+
+/// One rule violation at a specific source line.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Repo-relative path, `/`-separated on every platform.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Id of the rule that fired.
+    pub rule: String,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// Sorts findings into canonical reporting order.
+pub fn sort(findings: &mut [Finding]) {
+    findings.sort();
+}
+
+/// Renders findings as `path:line: [rule] message` lines plus a summary.
+pub fn render_text(findings: &[Finding], files_scanned: usize, suppressed: usize) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n",
+            f.file, f.line, f.rule, f.message
+        ));
+    }
+    out.push_str(&format!(
+        "countlint: {} finding{} in {} file{} scanned ({} suppressed by pragma)\n",
+        findings.len(),
+        if findings.len() == 1 { "" } else { "s" },
+        files_scanned,
+        if files_scanned == 1 { "" } else { "s" },
+        suppressed,
+    ));
+    out
+}
+
+/// Renders findings as a single-line JSON document.
+///
+/// Schema: `{"countlint":1,"files_scanned":N,"suppressed":M,`
+/// `"findings":[{"file":...,"line":...,"rule":...,"message":...},...]}`.
+pub fn render_json(findings: &[Finding], files_scanned: usize, suppressed: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\"countlint\":1,\"files_scanned\":");
+    out.push_str(&files_scanned.to_string());
+    out.push_str(",\"suppressed\":");
+    out.push_str(&suppressed.to_string());
+    out.push_str(",\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"file\":");
+        json_string(&mut out, &f.file);
+        out.push_str(",\"line\":");
+        out.push_str(&f.line.to_string());
+        out.push_str(",\"rule\":");
+        json_string(&mut out, &f.rule);
+        out.push_str(",\"message\":");
+        json_string(&mut out, &f.message);
+        out.push('}');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Appends `s` as a JSON string literal (RFC 8259 escaping).
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        vec![
+            Finding {
+                file: "b.rs".into(),
+                line: 2,
+                rule: "wall-clock-in-core".into(),
+                message: "second".into(),
+            },
+            Finding {
+                file: "a.rs".into(),
+                line: 9,
+                rule: "nondeterministic-iteration".into(),
+                message: "first".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn sort_orders_by_file_then_line() {
+        let mut f = sample();
+        sort(&mut f);
+        assert_eq!(f[0].file, "a.rs");
+        assert_eq!(f[1].file, "b.rs");
+    }
+
+    #[test]
+    fn text_report_format() {
+        let mut f = sample();
+        sort(&mut f);
+        let text = render_text(&f, 3, 1);
+        assert_eq!(
+            text,
+            "a.rs:9: [nondeterministic-iteration] first\n\
+             b.rs:2: [wall-clock-in-core] second\n\
+             countlint: 2 findings in 3 files scanned (1 suppressed by pragma)\n"
+        );
+    }
+
+    #[test]
+    fn json_report_is_exact() {
+        let mut f = sample();
+        sort(&mut f);
+        let json = render_json(&f, 3, 1);
+        assert_eq!(
+            json,
+            "{\"countlint\":1,\"files_scanned\":3,\"suppressed\":1,\"findings\":[\
+             {\"file\":\"a.rs\",\"line\":9,\"rule\":\"nondeterministic-iteration\",\
+             \"message\":\"first\"},\
+             {\"file\":\"b.rs\",\"line\":2,\"rule\":\"wall-clock-in-core\",\
+             \"message\":\"second\"}]}\n"
+        );
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let f = vec![Finding {
+            file: "a\"b.rs".into(),
+            line: 1,
+            rule: "r".into(),
+            message: "tab\tnewline\nquote\"backslash\\".into(),
+        }];
+        let json = render_json(&f, 1, 0);
+        assert!(json.contains("a\\\"b.rs"));
+        assert!(json.contains("tab\\tnewline\\nquote\\\"backslash\\\\"));
+    }
+
+    #[test]
+    fn empty_report_renders() {
+        assert_eq!(
+            render_json(&[], 0, 0),
+            "{\"countlint\":1,\"files_scanned\":0,\"suppressed\":0,\"findings\":[]}\n"
+        );
+        assert_eq!(
+            render_text(&[], 1, 0),
+            "countlint: 0 findings in 1 file scanned (0 suppressed by pragma)\n"
+        );
+    }
+}

@@ -1,0 +1,602 @@
+//! The rule trait, the static registry, and the shipped rule set.
+//!
+//! Mirrors the `counterlab::experiment` registry idiom: every rule is a
+//! zero-sized struct implementing [`Rule`], and [`registry`] returns the
+//! fixed, ordered catalog. Rules work on scrubbed token streams (see
+//! [`crate::scan`]), never on raw text, so comments and string literals
+//! can never produce findings.
+
+use crate::report::Finding;
+use crate::scan::{Line, SourceFile};
+
+/// One enforceable invariant.
+///
+/// Implementations are stateless; `check` receives a scanned file and
+/// returns raw findings (suppression is applied by the driver, so a rule
+/// never needs to know about pragmas).
+pub trait Rule: Sync {
+    /// Stable kebab-case id — the name pragmas and reports use.
+    fn id(&self) -> &'static str;
+    /// One-line description for `--list-rules` and reports.
+    fn summary(&self) -> &'static str;
+    /// Why the rule exists, in terms of the laboratory's invariants.
+    fn rationale(&self) -> &'static str;
+    /// Whether the rule inspects the file at this repo-relative path.
+    fn applies_to(&self, path: &str) -> bool;
+    /// Scans the file and returns every violation.
+    fn check(&self, file: &SourceFile) -> Vec<Finding>;
+}
+
+/// The fixed rule catalog, in reporting order.
+pub fn registry() -> &'static [&'static dyn Rule] {
+    &[
+        &NondeterministicIteration,
+        &WallClockInCore,
+        &PanicInServingPath,
+        &UndocumentedRelaxedAtomic,
+        &LossyCastInWire,
+        &PragmaHygiene,
+    ]
+}
+
+/// Looks a rule up by id.
+pub fn find(id: &str) -> Option<&'static dyn Rule> {
+    registry().iter().copied().find(|r| r.id() == id)
+}
+
+// ---------------------------------------------------------------------------
+// Tokenization helpers
+// ---------------------------------------------------------------------------
+
+/// One lexical token of a scrubbed code line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tok<'a> {
+    /// The token text (an identifier/number word, or one punct char).
+    pub text: &'a str,
+    /// Whether the token is a word (identifier, keyword or number).
+    pub is_word: bool,
+}
+
+/// Splits one scrubbed code line into word and punctuation tokens.
+pub fn tokens(code: &str) -> Vec<Tok<'_>> {
+    let mut out = Vec::new();
+    let bytes = code.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+        } else if c.is_ascii_alphanumeric() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            out.push(Tok {
+                text: &code[start..i],
+                is_word: true,
+            });
+        } else {
+            out.push(Tok {
+                text: &code[i..i + 1],
+                is_word: false,
+            });
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Keywords that can legitimately precede `[` without the bracket being
+/// an indexing expression (slice patterns, array types after `=`, …).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "in", "if", "else", "match", "return", "mut", "ref", "move", "as", "dyn", "for",
+    "while", "loop", "where", "break", "continue", "unsafe", "pub", "const", "static", "impl",
+    "fn", "use", "struct", "enum", "type", "trait", "mod", "box", "yield",
+];
+
+/// Whether the `[` at token index `i` opens an indexing expression: the
+/// previous token is a value-producing word or a closing bracket, and not
+/// a macro bang, attribute hash or keyword.
+fn bracket_is_indexing(toks: &[Tok<'_>], i: usize) -> bool {
+    let Some(prev) = i.checked_sub(1).map(|j| toks[j]) else {
+        return false;
+    };
+    if prev.is_word {
+        !NON_INDEX_KEYWORDS.contains(&prev.text)
+    } else {
+        matches!(prev.text, ")" | "]" | "?")
+    }
+}
+
+/// Whether token `i` is the method name of a `.name(…)` call.
+fn is_method_call(toks: &[Tok<'_>], i: usize, name: &str) -> bool {
+    toks[i].text == name
+        && i >= 1
+        && toks[i - 1].text == "."
+        && toks.get(i + 1).is_some_and(|t| t.text == "(")
+}
+
+/// Whether token `i` is a `name!` macro invocation head.
+fn is_macro_bang(toks: &[Tok<'_>], i: usize, name: &str) -> bool {
+    toks[i].text == name && toks.get(i + 1).is_some_and(|t| t.text == "!")
+}
+
+/// Runs `per_line` over every non-test code line the rule applies to.
+fn scan_lines(
+    file: &SourceFile,
+    rule: &'static str,
+    mut per_line: impl FnMut(&Line, &[Tok<'_>], &mut Vec<Finding>),
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for line in &file.lines {
+        if line.in_test || !line.has_code() {
+            continue;
+        }
+        let toks = tokens(&line.code);
+        per_line(line, &toks, &mut findings);
+    }
+    let _ = rule;
+    findings
+}
+
+fn finding(file: &SourceFile, rule: &'static str, line: usize, message: String) -> Finding {
+    Finding {
+        file: file.path.clone(),
+        line,
+        rule: rule.to_string(),
+        message,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// nondeterministic-iteration
+// ---------------------------------------------------------------------------
+
+/// Forbids `HashMap`/`HashSet` in result-producing code.
+pub struct NondeterministicIteration;
+
+impl Rule for NondeterministicIteration {
+    fn id(&self) -> &'static str {
+        "nondeterministic-iteration"
+    }
+    fn summary(&self) -> &'static str {
+        "HashMap/HashSet in result-producing code: iteration order is nondeterministic"
+    }
+    fn rationale(&self) -> &'static str {
+        "Every run must be a pure, bit-exact function of (machine config, infra, pattern, \
+         benchmark, seed); the serve cache and the reseed plumbing both depend on it. One \
+         HashMap iteration in a result-producing path silently breaks byte-identity across \
+         processes (RandomState is per-process), which poisons cached results served to many \
+         clients. Use BTreeMap/BTreeSet or key-sorted access; pragma-justify containers that \
+         are provably never iterated for output."
+    }
+    fn applies_to(&self, _path: &str) -> bool {
+        true
+    }
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        scan_lines(file, self.id(), |line, toks, out| {
+            for t in toks {
+                if t.is_word && (t.text == "HashMap" || t.text == "HashSet") {
+                    out.push(finding(
+                        file,
+                        self.id(),
+                        line.number,
+                        format!(
+                            "{} has nondeterministic iteration order; use BTreeMap/BTreeSet \
+                             or an order-stable structure",
+                            t.text
+                        ),
+                    ));
+                }
+            }
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// wall-clock-in-core
+// ---------------------------------------------------------------------------
+
+/// Forbids wall-clock reads outside the bench crate and the shims.
+pub struct WallClockInCore;
+
+impl Rule for WallClockInCore {
+    fn id(&self) -> &'static str {
+        "wall-clock-in-core"
+    }
+    fn summary(&self) -> &'static str {
+        "Instant/SystemTime outside the bench crate"
+    }
+    fn rationale(&self) -> &'static str {
+        "The paper's central lesson is that measurement infrastructure perturbs the quantity \
+         being measured. Simulated time (cycle counts, seeded timers) is the only clock the \
+         core may consult: a wall-clock read makes output depend on host scheduling, which \
+         breaks bit-exact replay and cache correctness. Timing belongs in counterlab-bench \
+         (the harness that measures the laboratory itself) and in the criterion shim."
+    }
+    fn applies_to(&self, path: &str) -> bool {
+        !path.starts_with("crates/bench/") && !path.starts_with("shims/")
+    }
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        scan_lines(file, self.id(), |line, toks, out| {
+            for t in toks {
+                if t.is_word && (t.text == "Instant" || t.text == "SystemTime") {
+                    out.push(finding(
+                        file,
+                        self.id(),
+                        line.number,
+                        format!(
+                            "{} is a wall-clock read; core results must be pure functions \
+                             of their seeds",
+                            t.text
+                        ),
+                    ));
+                }
+            }
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// panic-in-serving-path
+// ---------------------------------------------------------------------------
+
+/// Serving-path modules of the core crate: code executed by countd
+/// worker threads while a client waits. A panic here kills in-flight
+/// requests.
+const SERVING_PATH_FILES: &[&str] = &[
+    "crates/core/src/serve.rs",
+    "crates/core/src/wire.rs",
+    "crates/core/src/exec.rs",
+    "crates/core/src/grid.rs",
+    "crates/core/src/measure.rs",
+];
+
+/// Forbids panicking constructs in the serving path.
+pub struct PanicInServingPath;
+
+impl Rule for PanicInServingPath {
+    fn id(&self) -> &'static str {
+        "panic-in-serving-path"
+    }
+    fn summary(&self) -> &'static str {
+        "unwrap/expect/panic!/indexing in non-test serve, wire, exec, grid or measure code"
+    }
+    fn rationale(&self) -> &'static str {
+        "countd's worker threads run this code while clients wait on open sockets; a panic \
+         kills the worker and every in-flight request it would have served. Convert to typed \
+         errors (the daemon already reports CoreError over the wire), use .get()/slice \
+         patterns instead of indexing, and pragma-justify the few sites where aborting is \
+         provably the correct response (e.g. propagating a worker panic at join)."
+    }
+    fn applies_to(&self, path: &str) -> bool {
+        SERVING_PATH_FILES.contains(&path)
+    }
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        scan_lines(file, self.id(), |line, toks, out| {
+            let mut push = |what: &str| {
+                out.push(finding(
+                    file,
+                    self.id(),
+                    line.number,
+                    format!("{what} can panic in the serving path; return a typed error or \
+                             justify with a pragma"),
+                ));
+            };
+            for (i, t) in toks.iter().enumerate() {
+                if t.is_word {
+                    if is_method_call(toks, i, "unwrap") || is_method_call(toks, i, "expect") {
+                        push(&format!(".{}()", t.text));
+                    } else if is_macro_bang(toks, i, "panic")
+                        || is_macro_bang(toks, i, "unreachable")
+                        || is_macro_bang(toks, i, "todo")
+                        || is_macro_bang(toks, i, "unimplemented")
+                    {
+                        push(&format!("{}!", t.text));
+                    }
+                } else if t.text == "[" && bracket_is_indexing(toks, i) {
+                    push("slice/array indexing");
+                }
+            }
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// undocumented-relaxed-atomic
+// ---------------------------------------------------------------------------
+
+/// Requires a justification pragma on every `Ordering::Relaxed`.
+pub struct UndocumentedRelaxedAtomic;
+
+impl Rule for UndocumentedRelaxedAtomic {
+    fn id(&self) -> &'static str {
+        "undocumented-relaxed-atomic"
+    }
+    fn summary(&self) -> &'static str {
+        "Ordering::Relaxed without a pragma stating the soundness argument"
+    }
+    fn rationale(&self) -> &'static str {
+        "Relaxed is usually right for independent counters and usually wrong for anything \
+         that publishes data between threads — and the difference is invisible at the call \
+         site. This rule makes the argument part of the code: every Relaxed needs a \
+         `countlint: allow` pragma whose reason states why no cross-thread ordering is \
+         required (the pragma is the documentation; there is no way to satisfy the rule \
+         silently)."
+    }
+    fn applies_to(&self, _path: &str) -> bool {
+        true
+    }
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        scan_lines(file, self.id(), |line, toks, out| {
+            for t in toks {
+                if t.is_word && t.text == "Relaxed" {
+                    out.push(finding(
+                        file,
+                        self.id(),
+                        line.number,
+                        "Ordering::Relaxed requires a pragma documenting why relaxed \
+                         ordering is sound here"
+                            .to_string(),
+                    ));
+                }
+            }
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// lossy-cast-in-wire
+// ---------------------------------------------------------------------------
+
+/// Numeric type names an `as` cast can silently truncate to.
+const NUMERIC_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+    "f32", "f64",
+];
+
+/// Forbids numeric `as` casts in the wire codecs and the server.
+pub struct LossyCastInWire;
+
+impl Rule for LossyCastInWire {
+    fn id(&self) -> &'static str {
+        "lossy-cast-in-wire"
+    }
+    fn summary(&self) -> &'static str {
+        "numeric `as` cast in the COUNTD/1 codecs or the server"
+    }
+    fn rationale(&self) -> &'static str {
+        "Wire values cross a trust boundary: a lossy `as` cast turns a hostile or corrupt \
+         count into a silently wrong small number instead of a rejected message, and a \
+         wrong count can misframe every byte that follows. Codecs must use checked \
+         try_from conversions that reject with a typed WireError."
+    }
+    fn applies_to(&self, path: &str) -> bool {
+        path == "crates/core/src/wire.rs" || path == "crates/core/src/serve.rs"
+    }
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        scan_lines(file, self.id(), |line, toks, out| {
+            for (i, t) in toks.iter().enumerate() {
+                if t.is_word
+                    && t.text == "as"
+                    && toks
+                        .get(i + 1)
+                        .is_some_and(|n| n.is_word && NUMERIC_TYPES.contains(&n.text))
+                {
+                    out.push(finding(
+                        file,
+                        self.id(),
+                        line.number,
+                        format!(
+                            "`as {}` can silently truncate a wire value; use a checked \
+                             try_from returning WireError",
+                            toks[i + 1].text
+                        ),
+                    ));
+                }
+            }
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// pragma hygiene (meta rule)
+// ---------------------------------------------------------------------------
+
+/// Rejects malformed pragmas and pragmas naming unknown rules.
+///
+/// Findings of this rule cannot themselves be suppressed: a broken
+/// suppression must never silence anything.
+pub struct PragmaHygiene;
+
+impl PragmaHygiene {
+    /// The id, exposed so the driver can refuse to suppress it.
+    pub const ID: &'static str = "malformed-pragma";
+}
+
+impl Rule for PragmaHygiene {
+    fn id(&self) -> &'static str {
+        Self::ID
+    }
+    fn summary(&self) -> &'static str {
+        "countlint pragma that is malformed or names an unknown rule"
+    }
+    fn rationale(&self) -> &'static str {
+        "A suppression that silently fails to parse would leave its author believing an \
+         invariant is waived when it is not (or worse, believing a violation is justified \
+         when the justification was never recorded). Malformed pragmas are violations \
+         themselves and cannot be suppressed."
+    }
+    fn applies_to(&self, _path: &str) -> bool {
+        true
+    }
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for bad in &file.bad_pragmas {
+            out.push(finding(
+                file,
+                Self::ID,
+                bad.line,
+                format!("malformed countlint pragma: {}", bad.problem),
+            ));
+        }
+        for pragma in &file.pragmas {
+            if find(&pragma.rule).is_none() {
+                out.push(finding(
+                    file,
+                    Self::ID,
+                    pragma.line,
+                    format!("pragma names unknown rule `{}`", pragma.rule),
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_kebab_case() {
+        let mut seen = std::collections::BTreeSet::new();
+        for rule in registry() {
+            assert!(seen.insert(rule.id()), "duplicate id {}", rule.id());
+            assert!(
+                rule.id()
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c == '-'),
+                "{} is not kebab-case",
+                rule.id()
+            );
+            assert!(!rule.summary().is_empty());
+            assert!(!rule.rationale().is_empty());
+        }
+        assert!(find("nondeterministic-iteration").is_some());
+        assert!(find("no-such-rule").is_none());
+    }
+
+    #[test]
+    fn tokenizer_splits_words_and_punct() {
+        let toks = tokens("a.b[0] += vec![1];");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text).collect();
+        assert_eq!(
+            texts,
+            ["a", ".", "b", "[", "0", "]", "+", "=", "vec", "!", "[", "1", "]", ";"]
+        );
+    }
+
+    #[test]
+    fn indexing_detection_distinguishes_contexts() {
+        let cases = [
+            ("fields[0]", true),
+            ("x.y[i]", true),
+            ("f(x)[1]", true),
+            ("a[0][1]", true),
+            ("vec![1, 2]", false),
+            ("#[cfg(test)]", false),
+            ("let [a, b] = pair;", false),
+            ("let b = [0u8; 1];", false),
+            ("fn f(x: [u64; 2]) {}", false),
+            ("&[1, 2, 3]", false),
+            ("matches!(x, [_, _])", false),
+        ];
+        for (src, expect) in cases {
+            let toks = tokens(src);
+            let got = toks
+                .iter()
+                .enumerate()
+                .any(|(i, t)| t.text == "[" && bracket_is_indexing(&toks, i));
+            assert_eq!(got, expect, "{src:?}");
+        }
+    }
+
+    fn check_one(rule: &dyn Rule, path: &str, src: &str) -> Vec<Finding> {
+        rule.check(&SourceFile::scan(path, src))
+    }
+
+    #[test]
+    fn each_rule_fires_on_its_target() {
+        let p = "crates/core/src/serve.rs";
+        assert_eq!(
+            check_one(&NondeterministicIteration, p, "use std::collections::HashMap;\n").len(),
+            1
+        );
+        assert_eq!(
+            check_one(&WallClockInCore, p, "let t = Instant::now();\n").len(),
+            1
+        );
+        assert_eq!(
+            check_one(
+                &PanicInServingPath,
+                p,
+                "x.unwrap(); y.expect(\"m\"); panic!(\"b\"); let v = a[0];\n"
+            )
+            .len(),
+            4
+        );
+        assert_eq!(
+            check_one(&UndocumentedRelaxedAtomic, p, "c.load(Ordering::Relaxed);\n").len(),
+            1
+        );
+        assert_eq!(
+            check_one(&LossyCastInWire, p, "let n = big as usize;\n").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn rules_ignore_tests_comments_and_strings() {
+        let src = "\
+// Instant and HashMap in a comment.
+let s = \"Instant HashMap Relaxed x.unwrap()\";
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    fn f() { x.unwrap(); let t = Instant::now(); }
+}
+";
+        let p = "crates/core/src/serve.rs";
+        for rule in registry() {
+            assert!(
+                rule.check(&SourceFile::scan(p, src)).is_empty(),
+                "{} fired",
+                rule.id()
+            );
+        }
+    }
+
+    #[test]
+    fn scoping_is_per_rule() {
+        assert!(WallClockInCore.applies_to("crates/core/src/grid.rs"));
+        assert!(!WallClockInCore.applies_to("crates/bench/src/bin/repro/bench.rs"));
+        assert!(!WallClockInCore.applies_to("shims/criterion/src/lib.rs"));
+        assert!(PanicInServingPath.applies_to("crates/core/src/wire.rs"));
+        assert!(!PanicInServingPath.applies_to("crates/core/src/report.rs"));
+        assert!(LossyCastInWire.applies_to("crates/core/src/wire.rs"));
+        assert!(!LossyCastInWire.applies_to("crates/core/src/grid.rs"));
+        assert!(UndocumentedRelaxedAtomic.applies_to("crates/bench/src/bin/repro/bench.rs"));
+    }
+
+    #[test]
+    fn use_as_rename_is_not_a_cast() {
+        let src = "use foo::bar as baz;\n";
+        assert!(check_one(&LossyCastInWire, "crates/core/src/wire.rs", src).is_empty());
+    }
+
+    #[test]
+    fn pragma_hygiene_flags_unknown_rules_and_bad_syntax() {
+        let src = "\
+// countlint: allow(not-a-rule) -- reason
+// countlint: allow(missing-reason)
+let x = 1;
+";
+        let findings = check_one(&PragmaHygiene, "crates/core/src/lib.rs", src);
+        assert_eq!(findings.len(), 2);
+        assert!(findings.iter().any(|f| f.message.contains("unknown rule")));
+        assert!(findings.iter().any(|f| f.message.contains("missing")));
+    }
+}

@@ -1,0 +1,613 @@
+//! Source scanning: a comment- and string-literal-aware pass over one
+//! Rust file.
+//!
+//! countlint deliberately does **not** parse Rust (the workspace builds
+//! offline with no registry access, so `syn` is off the table). Instead
+//! this module does the one lexical job every rule needs done right:
+//! split a file into lines where
+//!
+//! * **code text** has every comment and every string/char-literal
+//!   *interior* blanked out (so `"HashMap"` in a message or `Instant` in
+//!   a doc comment can never trip a rule),
+//! * **comment text** has everything else blanked out (so suppression
+//!   pragmas are only ever read from real comments, never from string
+//!   literals that merely talk about pragmas),
+//! * each line knows whether it lies inside test-only code (a
+//!   `#[cfg(test)]` item, or a file under `tests/`, `benches/` or
+//!   `examples/`).
+//!
+//! The scanner handles nested block comments, escapes in string and char
+//! literals, raw strings (`r"…"`, `r#"…"#`), byte strings, and the
+//! char-literal/lifetime ambiguity (`'a'` vs `'a`).
+
+/// One scanned source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// 1-based line number.
+    pub number: usize,
+    /// The line with comments and literal interiors blanked to spaces.
+    /// String delimiters are kept so tokens never merge across them.
+    pub code: String,
+    /// The line with everything *except* comment text blanked to spaces.
+    pub comment: String,
+    /// Whether the line is inside test-only code.
+    pub in_test: bool,
+}
+
+impl Line {
+    /// Whether the line carries any code at all (non-whitespace outside
+    /// comments and literals).
+    pub fn has_code(&self) -> bool {
+        self.code.chars().any(|c| !c.is_whitespace())
+    }
+}
+
+/// An inline suppression pragma — `allow(<rule>) -- <reason>` after the
+/// `countlint` marker in a comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pragma {
+    /// 1-based line the pragma comment sits on.
+    pub line: usize,
+    /// The rule id inside `allow(…)`.
+    pub rule: String,
+    /// The justification after `--` (always non-empty when parsed).
+    pub reason: String,
+}
+
+/// A malformed pragma: the pragma marker was present but the rest could
+/// not be parsed (bad verb, missing reason, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadPragma {
+    /// 1-based line of the broken pragma.
+    pub line: usize,
+    /// What was wrong with it.
+    pub problem: String,
+}
+
+/// A scanned source file: the input every rule checks.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Repo-relative path with `/` separators (the rules' scoping key).
+    pub path: String,
+    /// The scanned lines, in order.
+    pub lines: Vec<Line>,
+    /// Well-formed suppression pragmas, in line order.
+    pub pragmas: Vec<Pragma>,
+    /// Malformed pragmas, surfaced as findings by the pragma-hygiene rule.
+    pub bad_pragmas: Vec<BadPragma>,
+}
+
+/// Lexical state of the scrubber, carried across lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u8),
+    ByteStr,
+    RawByteStr(u8),
+    Char,
+}
+
+impl SourceFile {
+    /// Scans `source` as the file at `path` (repo-relative).
+    pub fn scan(path: &str, source: &str) -> SourceFile {
+        let whole_file_test = path_is_testlike(path);
+        let (code_text, comment_text) = scrub(source);
+        let code_lines: Vec<&str> = code_text.split('\n').collect();
+        let comment_lines: Vec<&str> = comment_text.split('\n').collect();
+        let test_lines = test_regions(&code_lines);
+
+        let mut lines = Vec::with_capacity(code_lines.len());
+        for (i, code) in code_lines.iter().enumerate() {
+            lines.push(Line {
+                number: i + 1,
+                code: (*code).to_string(),
+                comment: comment_lines.get(i).copied().unwrap_or("").to_string(),
+                in_test: whole_file_test || test_lines.get(i).copied().unwrap_or(false),
+            });
+        }
+
+        let mut pragmas = Vec::new();
+        let mut bad_pragmas = Vec::new();
+        for line in &lines {
+            match parse_pragma(&line.comment) {
+                PragmaParse::None => {}
+                PragmaParse::Ok { rule, reason } => pragmas.push(Pragma {
+                    line: line.number,
+                    rule,
+                    reason,
+                }),
+                PragmaParse::Bad(problem) => bad_pragmas.push(BadPragma {
+                    line: line.number,
+                    problem,
+                }),
+            }
+        }
+
+        SourceFile {
+            path: path.to_string(),
+            lines,
+            pragmas,
+            bad_pragmas,
+        }
+    }
+
+    /// The 1-based line a pragma on `pragma_line` suppresses: the pragma
+    /// line itself when it carries code (trailing pragma), otherwise the
+    /// next line that carries code.
+    pub fn pragma_target(&self, pragma_line: usize) -> Option<usize> {
+        let idx = pragma_line.checked_sub(1)?;
+        let at = self.lines.get(idx)?;
+        if at.has_code() {
+            return Some(at.number);
+        }
+        self.lines[idx + 1..]
+            .iter()
+            .find(|l| l.has_code())
+            .map(|l| l.number)
+    }
+
+    /// Whether a finding of `rule` on `line` is suppressed by a pragma.
+    pub fn is_suppressed(&self, rule: &str, line: usize) -> bool {
+        self.pragmas
+            .iter()
+            .any(|p| p.rule == rule && self.pragma_target(p.line) == Some(line))
+    }
+}
+
+/// Whether every line of a file at this path is test/bench/example code.
+fn path_is_testlike(path: &str) -> bool {
+    path.split('/')
+        .any(|part| matches!(part, "tests" | "benches" | "examples"))
+}
+
+/// Blanks comments and literal interiors out of `source`, returning
+/// `(code_text, comment_text)` of identical shape (same length, same
+/// newline positions).
+fn scrub(source: &str) -> (String, String) {
+    let chars: Vec<char> = source.chars().collect();
+    let mut code = String::with_capacity(source.len());
+    let mut comment = String::with_capacity(source.len());
+    let mut state = State::Code;
+    let mut i = 0;
+
+    // Pushes one source char into both streams according to whether it
+    // is code, comment text, or a blanked literal interior.
+    let emit = |code: &mut String, comment: &mut String, c: char, state: State| {
+        if c == '\n' {
+            code.push('\n');
+            comment.push('\n');
+            return;
+        }
+        match state {
+            State::Code => {
+                code.push(c);
+                comment.push(' ');
+            }
+            State::LineComment | State::BlockComment(_) => {
+                code.push(' ');
+                comment.push(c);
+            }
+            // Literal interiors are neither code nor comment.
+            _ => {
+                code.push(' ');
+                comment.push(' ');
+            }
+        }
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match state {
+            State::Code => match c {
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    emit(&mut code, &mut comment, ' ', State::Code);
+                    emit(&mut code, &mut comment, ' ', State::Code);
+                    i += 2;
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    emit(&mut code, &mut comment, ' ', State::Code);
+                    emit(&mut code, &mut comment, ' ', State::Code);
+                    i += 2;
+                }
+                '"' => {
+                    state = State::Str;
+                    emit(&mut code, &mut comment, '"', State::Code);
+                    i += 1;
+                }
+                'r' | 'b' if !prev_is_ident(&chars, i) => {
+                    if let Some((st, consumed)) = raw_or_byte_prefix(&chars, i) {
+                        state = st;
+                        for _ in 0..consumed {
+                            emit(&mut code, &mut comment, ' ', State::Code);
+                        }
+                        // Keep one visible quote so tokens don't merge.
+                        code.pop();
+                        code.push('"');
+                        i += consumed;
+                    } else {
+                        emit(&mut code, &mut comment, c, State::Code);
+                        i += 1;
+                    }
+                }
+                '\'' => {
+                    if let Some(len) = char_literal_len(&chars, i) {
+                        emit(&mut code, &mut comment, ' ', State::Code);
+                        i += 1;
+                        // Blank the interior; close on the final quote.
+                        let mut rest = len - 1;
+                        while rest > 0 && i < chars.len() {
+                            let cc = chars[i];
+                            let s = if rest == 1 { State::Code } else { State::Char };
+                            let shown = if rest == 1 { ' ' } else { cc };
+                            emit(&mut code, &mut comment, shown, s);
+                            i += 1;
+                            rest -= 1;
+                        }
+                    } else {
+                        // A lifetime: keep the quote as code.
+                        emit(&mut code, &mut comment, c, State::Code);
+                        i += 1;
+                    }
+                }
+                _ => {
+                    emit(&mut code, &mut comment, c, State::Code);
+                    i += 1;
+                }
+            },
+            State::LineComment => {
+                if c == '\n' {
+                    state = State::Code;
+                }
+                emit(&mut code, &mut comment, c, State::LineComment);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    emit(&mut code, &mut comment, c, State::BlockComment(depth));
+                    emit(&mut code, &mut comment, '*', State::BlockComment(depth));
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    emit(&mut code, &mut comment, c, State::BlockComment(depth));
+                    emit(&mut code, &mut comment, '/', State::BlockComment(depth));
+                    state = if depth > 1 {
+                        State::BlockComment(depth - 1)
+                    } else {
+                        State::Code
+                    };
+                    i += 2;
+                } else {
+                    emit(&mut code, &mut comment, c, State::BlockComment(depth));
+                    i += 1;
+                }
+            }
+            State::Str | State::ByteStr => {
+                if c == '\\' && next.is_some() {
+                    emit(&mut code, &mut comment, ' ', state);
+                    emit(&mut code, &mut comment, ' ', state);
+                    i += 2;
+                } else if c == '"' {
+                    emit(&mut code, &mut comment, '"', State::Code);
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    emit(&mut code, &mut comment, c, state);
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) | State::RawByteStr(hashes) => {
+                if c == '"' && raw_close(&chars, i, hashes) {
+                    emit(&mut code, &mut comment, '"', State::Code);
+                    for _ in 0..hashes {
+                        emit(&mut code, &mut comment, ' ', State::Code);
+                    }
+                    i += 1 + hashes as usize;
+                    state = State::Code;
+                } else {
+                    emit(&mut code, &mut comment, c, state);
+                    i += 1;
+                }
+            }
+            State::Char => unreachable!("char literals are consumed inline"),
+        }
+    }
+    (code, comment)
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// Detects `r"`, `r#"`, `b"`, `br"`, `br#"` … at `i`; returns the scrub
+/// state and the number of chars in the opening (prefix + hashes + quote).
+fn raw_or_byte_prefix(chars: &[char], i: usize) -> Option<(State, usize)> {
+    let mut j = i;
+    let mut raw = false;
+    let mut byte = false;
+    if chars.get(j) == Some(&'b') {
+        byte = true;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'r') {
+        raw = true;
+        j += 1;
+    }
+    if !raw && !byte {
+        return None;
+    }
+    let mut hashes = 0u8;
+    if raw {
+        while chars.get(j) == Some(&'#') {
+            hashes += 1;
+            j += 1;
+        }
+    }
+    if chars.get(j) != Some(&'"') {
+        return None;
+    }
+    let state = match (raw, byte) {
+        (true, false) => State::RawStr(hashes),
+        (true, true) => State::RawByteStr(hashes),
+        (false, true) => State::ByteStr,
+        (false, false) => unreachable!(),
+    };
+    Some((state, j - i + 1))
+}
+
+fn raw_close(chars: &[char], i: usize, hashes: u8) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Length (in chars, including both quotes) of a char literal starting at
+/// the `'` at `i`, or `None` if it is a lifetime.
+fn char_literal_len(chars: &[char], i: usize) -> Option<usize> {
+    match chars.get(i + 1)? {
+        '\\' => {
+            // Escaped char: scan to the closing quote.
+            let mut j = i + 2;
+            while j < chars.len() && chars[j] != '\'' && chars[j] != '\n' {
+                j += 1;
+            }
+            (chars.get(j) == Some(&'\'')).then(|| j - i + 1)
+        }
+        _ => (chars.get(i + 2) == Some(&'\'')).then_some(3),
+    }
+}
+
+/// Per-line test flags from `#[cfg(test)]` item tracking: brace-depth
+/// bookkeeping over the scrubbed code, marking the body of every
+/// `#[cfg(test)]` item.
+fn test_regions(code_lines: &[&str]) -> Vec<bool> {
+    let mut flags = vec![false; code_lines.len()];
+    let mut depth: i64 = 0;
+    // `Some(d)`: a `#[cfg(test)]` attribute was seen at depth `d` and we
+    // are waiting for the item's `{` (or a `;` that ends a bodyless item).
+    let mut armed: Option<i64> = None;
+    // `Some(d)`: inside a test item's body; it ends when depth returns to `d`.
+    let mut test_until: Option<i64> = None;
+
+    for (idx, line) in code_lines.iter().enumerate() {
+        if test_until.is_some() {
+            flags[idx] = true;
+        }
+        if line.contains("#[cfg(test)]") && test_until.is_none() {
+            armed = Some(depth);
+            flags[idx] = true;
+        }
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    if let Some(d) = armed {
+                        if depth == d && test_until.is_none() {
+                            test_until = Some(d);
+                            armed = None;
+                            flags[idx] = true;
+                        }
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if let Some(d) = test_until {
+                        if depth <= d {
+                            test_until = None;
+                        }
+                    }
+                }
+                ';' => {
+                    if let Some(d) = armed {
+                        if depth == d && test_until.is_none() {
+                            // Bodyless item (e.g. `#[cfg(test)] use …;`).
+                            armed = None;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    flags
+}
+
+enum PragmaParse {
+    None,
+    Ok { rule: String, reason: String },
+    Bad(String),
+}
+
+/// Parses a suppression pragma (`allow(<rule>) -- <reason>` after the
+/// marker) out of one line's comment text.
+fn parse_pragma(comment: &str) -> PragmaParse {
+    const MARKER: &str = "countlint:";
+    let Some(at) = comment.find(MARKER) else {
+        return PragmaParse::None;
+    };
+    let rest = comment[at + MARKER.len()..].trim_start();
+    let Some(args) = rest.strip_prefix("allow(") else {
+        return PragmaParse::Bad(format!(
+            "expected `countlint: allow(<rule>) -- <reason>`, got {:?}",
+            rest.trim_end()
+        ));
+    };
+    let Some(close) = args.find(')') else {
+        return PragmaParse::Bad("unclosed `allow(`".to_string());
+    };
+    let rule = args[..close].trim().to_string();
+    if rule.is_empty() || rule.contains(',') {
+        return PragmaParse::Bad("allow() takes exactly one rule id".to_string());
+    }
+    let tail = args[close + 1..].trim_start();
+    let Some(reason) = tail.strip_prefix("--") else {
+        return PragmaParse::Bad(format!(
+            "pragma for rule `{rule}` is missing its `-- <reason>` justification"
+        ));
+    };
+    let reason = reason.trim().to_string();
+    if reason.is_empty() {
+        return PragmaParse::Bad(format!(
+            "pragma for rule `{rule}` has an empty reason after `--`"
+        ));
+    }
+    PragmaParse::Ok { rule, reason }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> SourceFile {
+        SourceFile::scan("crates/x/src/lib.rs", src)
+    }
+
+    #[test]
+    fn comments_and_strings_are_scrubbed_from_code() {
+        let f = scan("let x = \"HashMap\"; // HashMap here\nuse std::collections::HashMap;\n");
+        assert!(!f.lines[0].code.contains("HashMap"));
+        assert!(f.lines[0].comment.contains("HashMap here"));
+        assert!(f.lines[1].code.contains("HashMap"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_scrubbed() {
+        let f = scan(concat!(
+            "let a = r#\"Instant \"quoted\" inside\"#;\n",
+            "let b = b\"SystemTime\";\n",
+            "let c = 'I'; let d: &'static str = \"x\";\n",
+            "let e = '\\n';\n",
+            "let real = Instant::now();\n",
+        ));
+        for i in 0..4 {
+            assert!(!f.lines[i].code.contains("Instant"), "line {i}: {:?}", f.lines[i].code);
+            assert!(!f.lines[i].code.contains("SystemTime"), "line {i}");
+            assert!(!f.lines[i].code.contains('I'), "line {i}: {:?}", f.lines[i].code);
+        }
+        assert!(f.lines[2].code.contains("'static"), "lifetimes survive");
+        assert!(f.lines[4].code.contains("Instant"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let f = scan("/* outer /* inner */ still comment */ let x = 1;\n");
+        assert!(!f.lines[0].code.contains("outer"));
+        assert!(!f.lines[0].code.contains("still"));
+        assert!(f.lines[0].code.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn multiline_strings_stay_scrubbed() {
+        let f = scan("let s = \"line one\nHashMap in line two\";\nHashMap;\n");
+        assert!(!f.lines[1].code.contains("HashMap"));
+        assert!(f.lines[2].code.contains("HashMap"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "\
+fn real() {}
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+}
+fn also_real() {}
+";
+        let f = scan(src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[1].in_test, "attribute line");
+        assert!(f.lines[2].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(f.lines[4].in_test, "closing brace");
+        assert!(!f.lines[5].in_test);
+    }
+
+    #[test]
+    fn bodyless_cfg_test_item_does_not_poison_the_rest() {
+        let src = "#[cfg(test)]\nuse helper::x;\nfn real() {}\n";
+        let f = scan(src);
+        assert!(!f.lines[2].in_test);
+    }
+
+    #[test]
+    fn testlike_paths_mark_every_line() {
+        let f = SourceFile::scan("tests/integration.rs", "fn x() {}\n");
+        assert!(f.lines[0].in_test);
+        let f = SourceFile::scan("crates/bench/benches/engine.rs", "fn x() {}\n");
+        assert!(f.lines[0].in_test);
+    }
+
+    #[test]
+    fn pragma_parsing_and_targets() {
+        let src = "\
+// countlint: allow(some-rule) -- the reason
+let x = 1;
+let y = 2; // countlint: allow(other-rule) -- trailing reason
+";
+        let f = scan(src);
+        assert_eq!(f.pragmas.len(), 2);
+        assert_eq!(f.pragmas[0].rule, "some-rule");
+        assert_eq!(f.pragmas[0].reason, "the reason");
+        assert_eq!(f.pragma_target(1), Some(2));
+        assert_eq!(f.pragma_target(3), Some(3));
+        assert!(f.is_suppressed("some-rule", 2));
+        assert!(f.is_suppressed("other-rule", 3));
+        assert!(!f.is_suppressed("some-rule", 3));
+    }
+
+    #[test]
+    fn stacked_pragmas_target_the_same_line() {
+        let src = "\
+// countlint: allow(rule-a) -- one
+// countlint: allow(rule-b) -- two
+let x = 1;
+";
+        let f = scan(src);
+        assert!(f.is_suppressed("rule-a", 3));
+        assert!(f.is_suppressed("rule-b", 3));
+    }
+
+    #[test]
+    fn malformed_pragmas_are_reported_not_honored() {
+        let src = "\
+// countlint: allow(no-reason)
+// countlint: deny(x) -- wrong verb
+// countlint: allow(a, b) -- two rules
+let s = \"countlint: allow(in-a-string) -- not a pragma\";
+";
+        let f = scan(src);
+        assert_eq!(f.pragmas.len(), 0);
+        assert_eq!(f.bad_pragmas.len(), 3);
+        assert!(f.bad_pragmas[0].problem.contains("missing"));
+    }
+
+    #[test]
+    fn pragma_in_string_literal_is_ignored() {
+        let f = scan("let s = \"countlint: allow(x) -- nope\";\n");
+        assert!(f.pragmas.is_empty());
+        assert!(f.bad_pragmas.is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! countlint self-tests: fixture conformance, suppression semantics,
+//! JSON byte-stability, and the dogfooding gate (this workspace must
+//! lint clean).
+//!
+//! Fixture format (`tests/lint_fixtures/*.rs`, never compiled — cargo
+//! only builds top-level `tests/*.rs`): the first line
+//! `//~ as: <virtual-path>` sets the repo-relative path the rules see
+//! (path-scoped rules key off it), and every line expected to produce a
+//! finding carries a trailing `//~ <rule-id>` marker. The harness
+//! compares the exact `(line, rule)` multiset, so a fixture fails both
+//! when a finding is missed *and* when a rule over-fires.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use countlint::{lint_root, lint_source, report};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/lint_fixtures")
+}
+
+fn fixture_paths() -> Vec<PathBuf> {
+    let mut paths: Vec<PathBuf> = fs::read_dir(fixtures_dir())
+        .expect("fixture dir exists")
+        .map(|e| e.expect("fixture dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    paths.sort();
+    paths
+}
+
+/// Parses a fixture into its virtual path and expected findings.
+fn parse_fixture(source: &str) -> (String, Vec<(usize, String)>) {
+    let first = source.lines().next().unwrap_or_default();
+    let virtual_path = first
+        .strip_prefix("//~ as: ")
+        .expect("fixture must start with `//~ as: <virtual-path>`")
+        .trim()
+        .to_string();
+    let mut expected = Vec::new();
+    for (i, line) in source.lines().enumerate().skip(1) {
+        if let Some((_, marker)) = line.split_once("//~ ") {
+            for rule in marker.split(',') {
+                expected.push((i + 1, rule.trim().to_string()));
+            }
+        }
+    }
+    expected.sort();
+    (virtual_path, expected)
+}
+
+#[test]
+fn fixtures_conform_line_by_line() {
+    let paths = fixture_paths();
+    assert!(
+        paths.len() >= 9,
+        "expected the full fixture corpus, found {}",
+        paths.len()
+    );
+    for path in paths {
+        let source = fs::read_to_string(&path).expect("read fixture");
+        let (virtual_path, expected) = parse_fixture(&source);
+        let outcome = lint_source(&virtual_path, &source);
+        let mut got: Vec<(usize, String)> = outcome
+            .findings
+            .iter()
+            .map(|f| (f.line, f.rule.clone()))
+            .collect();
+        got.sort();
+        assert_eq!(got, expected, "fixture {}", path.display());
+    }
+}
+
+#[test]
+fn bad_fixtures_fail_and_good_fixtures_pass() {
+    // The CLI exit code is `findings.is_empty()`; pin the split the CI
+    // gate relies on: every `bad_*` fixture is a non-zero exit, every
+    // `good_*` fixture a zero one.
+    for path in fixture_paths() {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        let source = fs::read_to_string(&path).expect("read fixture");
+        let (virtual_path, _) = parse_fixture(&source);
+        let outcome = lint_source(&virtual_path, &source);
+        if name.starts_with("bad_") {
+            assert!(!outcome.is_clean(), "{name} must have findings");
+        } else {
+            assert!(outcome.is_clean(), "{name} must be clean: {:?}", outcome.findings);
+        }
+    }
+}
+
+#[test]
+fn suppression_pragmas_are_honored_and_counted() {
+    let source = fs::read_to_string(fixtures_dir().join("good_suppressed.rs")).unwrap();
+    let (virtual_path, _) = parse_fixture(&source);
+    let outcome = lint_source(&virtual_path, &source);
+    assert!(outcome.is_clean(), "{:?}", outcome.findings);
+    assert_eq!(outcome.suppressed, 2, "both pragma forms count");
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    // The dogfooding gate: the repo that ships the linter passes it.
+    // Every finding in the tree is either fixed or pragma-justified.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let outcome = lint_root(root).expect("lint the workspace");
+    assert!(
+        outcome.is_clean(),
+        "workspace has unsuppressed findings:\n{}",
+        report::render_text(&outcome.findings, outcome.files_scanned, outcome.suppressed)
+    );
+    assert!(
+        outcome.files_scanned > 50,
+        "walker saw only {} files — skip rules are too broad",
+        outcome.files_scanned
+    );
+    assert!(outcome.suppressed > 0, "the sweep's pragmas are visible");
+}
+
+#[test]
+fn json_report_is_byte_stable() {
+    let source = "use std::collections::HashMap;\nlet t = Instant::now();\n";
+    let render = || {
+        let o = lint_source("crates/core/src/telemetry.rs", source);
+        report::render_json(&o.findings, o.files_scanned, o.suppressed)
+    };
+    let first = render();
+    assert_eq!(first, render(), "same input, same bytes");
+    // The exact golden encoding: single line, fixed key order, findings
+    // sorted by (file, line, rule, message).
+    assert_eq!(
+        first,
+        "{\"countlint\":1,\"files_scanned\":1,\"suppressed\":0,\"findings\":[\
+         {\"file\":\"crates/core/src/telemetry.rs\",\"line\":1,\
+         \"rule\":\"nondeterministic-iteration\",\
+         \"message\":\"HashMap has nondeterministic iteration order; use BTreeMap/BTreeSet \
+         or an order-stable structure\"},\
+         {\"file\":\"crates/core/src/telemetry.rs\",\"line\":2,\
+         \"rule\":\"wall-clock-in-core\",\
+         \"message\":\"Instant is a wall-clock read; core results must be pure functions \
+         of their seeds\"}]}\n"
+    );
+}

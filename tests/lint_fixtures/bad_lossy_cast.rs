@@ -1,0 +1,16 @@
+//~ as: crates/core/src/wire.rs
+// Known-bad fixture: a numeric `as` cast in a wire codec fires; an
+// `as` import rename and a lossless From conversion do not.
+use std::io::Error as IoError;
+
+pub fn shrink(count: u64) -> usize {
+    count as usize //~ lossy-cast-in-wire
+}
+
+pub fn widen(count: u32) -> u64 {
+    u64::from(count)
+}
+
+pub fn not_an_io_error() -> Option<IoError> {
+    None
+}

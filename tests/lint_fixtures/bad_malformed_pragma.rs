@@ -1,0 +1,9 @@
+//~ as: crates/core/src/lib.rs
+// Known-bad fixture: broken suppression pragmas are violations
+// themselves, reported at the pragma's own line.
+// countlint: allow(nondeterministic-iteration) //~ malformed-pragma
+pub const MISSING_REASON: u8 = 1;
+// countlint: deny(wall-clock-in-core) -- wrong verb //~ malformed-pragma
+pub const WRONG_VERB: u8 = 2;
+// countlint: allow(no-such-rule) -- names a rule that does not exist //~ malformed-pragma
+pub const UNKNOWN_RULE: u8 = 3;

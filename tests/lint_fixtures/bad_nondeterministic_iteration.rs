@@ -1,0 +1,25 @@
+//~ as: crates/core/src/report.rs
+// Known-bad fixture: HashMap/HashSet in result-producing code. Marked
+// lines must produce exactly the named finding; the cfg(test) block
+// below must produce none.
+use std::collections::HashMap; //~ nondeterministic-iteration
+use std::collections::HashSet; //~ nondeterministic-iteration
+
+pub fn tally(items: &[u64]) -> HashMap<u64, u64> { //~ nondeterministic-iteration
+    let mut map = HashMap::new(); //~ nondeterministic-iteration
+    for &item in items {
+        *map.entry(item).or_insert(0) += 1;
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn hashmap_in_test_code_is_exempt() {
+        let _ = HashMap::<u64, u64>::new();
+        let _ = super::tally(&[1, 2, 2]);
+    }
+}

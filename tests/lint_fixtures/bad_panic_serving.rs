@@ -1,0 +1,16 @@
+//~ as: crates/core/src/serve.rs
+// Known-bad fixture: panicking constructs in serving-path code.
+pub fn first_two(payload: &[u8]) -> u8 {
+    let head = payload[0]; //~ panic-in-serving-path
+    let tail = payload.get(1).copied().unwrap(); //~ panic-in-serving-path
+    let sum = head.checked_add(tail).expect("sum overflow"); //~ panic-in-serving-path
+    if sum == 0 {
+        panic!("zero sum"); //~ panic-in-serving-path
+    }
+    sum
+}
+
+pub fn safe_first(payload: &[u8]) -> Option<u8> {
+    // Checked access never panics, so no finding here.
+    payload.first().copied()
+}

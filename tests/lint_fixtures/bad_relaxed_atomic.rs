@@ -1,0 +1,15 @@
+//~ as: crates/core/src/telemetry.rs
+// Known-bad fixture: an Ordering::Relaxed without a justification
+// pragma fires; the same operation under a pragma does not.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static TICKS: AtomicU64 = AtomicU64::new(0);
+
+pub fn undocumented_tick() -> u64 {
+    TICKS.fetch_add(1, Ordering::Relaxed) //~ undocumented-relaxed-atomic
+}
+
+pub fn documented_tick() -> u64 {
+    // countlint: allow(undocumented-relaxed-atomic) -- independent counter; nothing is published under it
+    TICKS.fetch_add(1, Ordering::Relaxed)
+}

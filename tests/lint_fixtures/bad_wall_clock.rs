@@ -1,0 +1,13 @@
+//~ as: crates/core/src/measure.rs
+// Known-bad fixture: wall-clock reads in core code. A mention of
+// Instant in this comment, or in the string below, must not fire.
+use std::time::Instant; //~ wall-clock-in-core
+use std::time::SystemTime; //~ wall-clock-in-core
+
+pub fn perturbed_measurement() -> u64 {
+    let label = "Instant and SystemTime in a string literal are inert";
+    let start = Instant::now(); //~ wall-clock-in-core
+    let _ = SystemTime::now(); //~ wall-clock-in-core
+    let _ = label;
+    start.elapsed().subsec_nanos().into()
+}

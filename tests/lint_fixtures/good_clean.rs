@@ -1,0 +1,43 @@
+//~ as: crates/core/src/serve.rs
+//! Known-good fixture under the strictest rule scope (the serving
+//! path). Mentions of unwrap(), panic!, Instant and HashMap in doc
+//! comments are inert, as is everything below: strings, slice
+//! patterns, macros, attributes and cfg(test) code.
+
+#[derive(Debug, Clone, Copy)]
+pub struct Pair {
+    pub lo: u8,
+    pub hi: u8,
+}
+
+pub fn split(pair: (u8, u8)) -> Pair {
+    let (lo, hi) = pair;
+    let banner = "unwrap() and payload[0] and Instant::now() in a string";
+    let _ = banner;
+    Pair { lo, hi }
+}
+
+pub fn heads(bytes: &[u8]) -> Vec<u8> {
+    let mut out = vec![0u8; 0];
+    if let [first, _second, ..] = bytes {
+        out.push(*first);
+    }
+    out.extend(bytes.iter().take(2));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn violations_in_test_code_are_exempt() {
+        let _ = Instant::now();
+        let mut map = HashMap::new();
+        map.insert(1u8, 2u8);
+        assert_eq!(map.get(&1).copied().unwrap(), 2);
+        let v = [1u8, 2, 3];
+        assert_eq!(v[0], 1);
+    }
+}

@@ -1,0 +1,11 @@
+//~ as: crates/core/src/report.rs
+// Known-good fixture: path-scoped rules stay in their scope. This
+// virtual path is not in the serving path and not a wire codec, so
+// unwrap/indexing and numeric casts are not findings here (clippy and
+// review still apply — countlint only enforces the serving invariants).
+pub fn render(cells: &[u64]) -> String {
+    let first = cells.first().copied().unwrap();
+    let also_first = cells[0];
+    let width = (also_first as usize).max(first as usize);
+    format!("{first:>width$}")
+}

@@ -1,0 +1,16 @@
+//~ as: crates/core/src/serve.rs
+// Known-good fixture: real violations, each silenced by a well-formed
+// pragma (standalone-line form and trailing form). Expected findings:
+// none; expected suppressions: two.
+use std::collections::BTreeMap;
+
+// countlint: allow(nondeterministic-iteration) -- keyed lookups only; this map is never iterated
+use std::collections::HashMap;
+
+pub fn lookup(map: &HashMap<u64, u64>, key: u64) -> Option<u64> { // countlint: allow(nondeterministic-iteration) -- keyed lookups only; never iterated
+    map.get(&key).copied()
+}
+
+pub fn ordered(map: &BTreeMap<u64, u64>) -> Vec<u64> {
+    map.values().copied().collect()
+}
