@@ -14,7 +14,11 @@
 //!    documents that the session path does not regress sim-heavy sweeps.
 //! 3. **`csv_stream`** — the streaming CSV export of the full null grid,
 //!    both boot policies, outputs checksum-compared.
-//! 4. **`served_grid`** (`--served`) — the same null grid requested from
+//! 4. **`workload_zoo`** — the `workload-accuracy` sweep (every zoo
+//!    kernel × oracle event × interface): the session engine against
+//!    fresh-boot streaming, record vectors asserted bit-identical before
+//!    the speedup is reported.
+//! 5. **`served_grid`** (`--served`) — the same null grid requested from
 //!    an in-process countd ([`counterlab::serve`]): one cold request
 //!    (all cells computed, cache filled) and the best of three warm
 //!    requests (all cells served from the content-addressed cache). The
@@ -22,7 +26,7 @@
 //!    encoding before any number is reported; `warm_speedup_vs_fresh`
 //!    documents the cache-hit throughput against local recompute.
 //!
-//! Results are written as machine-readable JSON (`BENCH_6.json` by
+//! Results are written as machine-readable JSON (`BENCH_7.json` by
 //! default; `--json PATH` overrides) so CI can archive one artifact per
 //! PR and the perf trajectory accumulates. Allocation counts per run come
 //! from a counting global allocator and document the hot-loop hoisting:
@@ -244,7 +248,38 @@ pub fn run(
         csv_session.json()
     ));
 
-    // 4. (--served) The null grid over countd: cold fill, warm cache hits.
+    // 4. The workload-accuracy zoo sweep: session engine vs fresh-boot
+    // streaming. The zoo's heavier kernels (pointer chase, syscalls)
+    // exercise simulation paths the null grid never touches.
+    let zreps = scale.grid_reps.max(counterlab::experiments::workload::WorkloadAccuracy::MIN_REPS);
+    let zcells = counterlab::experiments::workload::cells().len();
+    let zruns = zcells * zreps;
+    eprintln!("bench: workload_zoo ({zcells} cells x {zreps} reps, {zruns} runs)");
+    let (zoo_fresh_fig, zoo_fresh) = timed(zruns, || {
+        counterlab::experiments::workload::run_streaming_with(zreps, &opts)
+    });
+    let zoo_fresh_fig = zoo_fresh_fig.map_err(err)?;
+    let (zoo_session_fig, zoo_session) = timed(zruns, || {
+        counterlab::experiments::workload::run_with(zreps, &opts)
+    });
+    let zoo_session_fig = zoo_session_fig.map_err(err)?;
+    if zoo_fresh_fig.records != zoo_session_fig.records {
+        return Err("bench: workload_zoo session records diverged from fresh-boot records".into());
+    }
+    drop((zoo_fresh_fig, zoo_session_fig));
+    let zoo_speedup = zoo_session.runs_per_sec / zoo_fresh.runs_per_sec;
+    eprintln!(
+        "bench: workload_zoo fresh {:.0} runs/s, session {:.0} runs/s ({zoo_speedup:.2}x)",
+        zoo_fresh.runs_per_sec, zoo_session.runs_per_sec
+    );
+    workloads.push(format!(
+        "    {{\"name\": \"workload_zoo\", \"cells\": {zcells}, \"reps\": {zreps}, \
+         \"fresh\": {}, \"session\": {}, \"speedup\": {zoo_speedup:.2}}}",
+        zoo_fresh.json(),
+        zoo_session.json()
+    ));
+
+    // 5. (--served) The null grid over countd: cold fill, warm cache hits.
     if let Some(local_body) = local_body {
         use counterlab::exec::Priority;
         use counterlab::serve::{self, ServeConfig, Server};
@@ -304,7 +339,7 @@ pub fn run(
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"counterlab repro bench\",\n  \"pr\": 6,\n  \"schema\": 1,\n  \
+        "{{\n  \"bench\": \"counterlab repro bench\",\n  \"pr\": 7,\n  \"schema\": 1,\n  \
          \"scale\": \"{scale_name}\",\n  \"jobs\": {},\n  \
          \"note\": \"fresh = one stack boot per run (the equivalence oracle; performance-\
          equivalent to the pre-PR engine within noise); session = boot once per cell, \

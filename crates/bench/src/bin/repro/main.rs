@@ -41,14 +41,14 @@ const SERVE: &str = "serve";
 const CLIENT: &str = "client";
 
 /// Actions `repro client` understands.
-const CLIENT_ACTIONS: [&str; 4] = ["grid", "stats", "ping", "shutdown"];
+const CLIENT_ACTIONS: [&str; 5] = ["grid", "experiment", "stats", "ping", "shutdown"];
 
 /// Default address `repro serve` binds and `repro client` dials.
 const DEFAULT_ADDR: &str = "127.0.0.1:6121";
 
 /// Default output path of `repro bench` (one JSON per PR: the perf
 /// trajectory accumulates as CI artifacts).
-const BENCH_JSON: &str = "BENCH_6.json";
+const BENCH_JSON: &str = "BENCH_7.json";
 
 fn run(args: &[String]) -> Result<(), String> {
     let mut scale = Scale::standard();
@@ -182,12 +182,16 @@ fn run(args: &[String]) -> Result<(), String> {
             return Err(format!("{SERVE} and {CLIENT} are separate commands; see --help"));
         }
         let what = if serve { SERVE } else { CLIENT };
-        if !commands.is_empty()
+        // `client experiment <id>` is the one client action that takes a
+        // registry command (the experiment to serve) and the `--stream`/
+        // `--out` flags; everywhere else they are usage errors.
+        let exp_client = client && client_action == Some("experiment");
+        if (!commands.is_empty() && !exp_client)
             || list
             || bench
-            || stream
+            || (stream && !exp_client)
             || !ablations.is_empty()
-            || out_dir.is_some()
+            || (out_dir.is_some() && !exp_client)
             || json_given
         {
             return Err(format!("{what} runs alone; see --help"));
@@ -213,15 +217,40 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         let action = client_action
             .ok_or_else(|| format!("{CLIENT} needs an action: {}", CLIENT_ACTIONS.join("|")))?;
-        if action != "grid" && (scale_given || priority.is_some() || csv_out) {
-            return Err(format!("--scale/--priority/--csv only apply to `{CLIENT} grid`"));
+        if !matches!(action, "grid" | "experiment") && scale_given {
+            return Err(format!(
+                "--scale only applies to `{CLIENT} grid` and `{CLIENT} experiment`"
+            ));
         }
+        if action != "grid" && (priority.is_some() || csv_out) {
+            return Err(format!("--priority/--csv only apply to `{CLIENT} grid`"));
+        }
+        let experiment_id = if action == "experiment" {
+            match commands.as_slice() {
+                [id] if *id != ALL => Some(*id),
+                [] => {
+                    return Err(format!(
+                        "{CLIENT} experiment needs an experiment id (see `repro list`)"
+                    ))
+                }
+                _ => {
+                    return Err(format!(
+                        "{CLIENT} experiment serves exactly one registered experiment"
+                    ))
+                }
+            }
+        } else {
+            None
+        };
         return run_client(
             addr.as_deref().unwrap_or(DEFAULT_ADDR),
             action,
             scale,
             priority,
             csv_out,
+            experiment_id,
+            stream,
+            out_dir.as_deref(),
         );
     }
     if addr.is_some() || workers_given || cache_dir.is_some() || priority.is_some() || csv_out {
@@ -341,12 +370,16 @@ fn run_serve(
 }
 
 /// `repro client` — one request against a running countd.
+#[allow(clippy::too_many_arguments)]
 fn run_client(
     addr: &str,
     action: &str,
     scale: Scale,
     priority: Option<Priority>,
     csv_out: bool,
+    experiment_id: Option<&str>,
+    stream: bool,
+    out_dir: Option<&std::path::Path>,
 ) -> Result<(), String> {
     match action {
         "ping" => {
@@ -393,6 +426,36 @@ fn run_client(
                     meta.hits,
                     meta.misses
                 );
+            }
+        }
+        "experiment" => {
+            let id = experiment_id.expect("validated before dispatch");
+            let scale_name = Scale::NAMES
+                .iter()
+                .find(|n| Scale::from_name(n) == Some(scale))
+                .copied()
+                .unwrap_or("standard");
+            let artifacts =
+                serve::request_experiment(addr, id, scale_name, stream).map_err(err)?;
+            for artifact in &artifacts {
+                if let Some(dir) = out_dir {
+                    std::fs::create_dir_all(dir).map_err(err)?;
+                    let path = dir.join(&artifact.name);
+                    std::fs::write(&path, &artifact.content).map_err(err)?;
+                    match artifact.rows {
+                        Some(rows) => println!("wrote {} ({rows} records)", path.display()),
+                        None => println!("wrote {}", path.display()),
+                    }
+                } else {
+                    // Like ConsoleSink: text artifacts print, row streams
+                    // only announce themselves (they are files, not prose).
+                    match artifact.rows {
+                        Some(rows) => {
+                            println!("{}: {rows} records (use --out DIR to save)", artifact.name);
+                        }
+                        None => print!("{}", artifact.content),
+                    }
+                }
             }
         }
         _ => unreachable!("validated against CLIENT_ACTIONS"),
@@ -472,9 +535,15 @@ fn help() -> String {
          {:<15}{} [--addr HOST:PORT]\n\
          {:<15}(grid: [--scale S] [--priority interactive|bulk]\n\
          {:<15}[--csv] — --csv prints the records as CSV, diffable\n\
-         {:<15}against a local `repro csv` run)\n",
+         {:<15}against a local `repro csv` run)\n\
+         {:<15}(experiment ID: serve a registered experiment through\n\
+         {:<15}the daemon; [--scale S] [--stream] [--out DIR] — the\n\
+         {:<15}artifacts are byte-identical to a local run)\n",
         "",
         CLIENT_ACTIONS.join("|"),
+        "",
+        "",
+        "",
         "",
         "",
         ""
@@ -516,7 +585,7 @@ repro — regenerate the tables and figures of
 USAGE:
   repro [--scale quick|standard|paper] [--jobs N] [--out DIR] COMMAND...
   repro serve [--addr HOST:PORT] [--workers N] [--cache-dir DIR]
-  repro client [--addr HOST:PORT] grid|stats|ping|shutdown
+  repro client [--addr HOST:PORT] grid|experiment ID|stats|ping|shutdown
 
 OPTIONS:
   --scale quick|standard|paper  repetition preset (default standard)
@@ -682,7 +751,7 @@ mod tests {
     /// null-grid section carries both boot policies and a speedup field.
     #[test]
     fn bench_writes_json() {
-        let path = std::env::temp_dir().join(format!("bench6-{}.json", std::process::id()));
+        let path = std::env::temp_dir().join(format!("bench7-{}.json", std::process::id()));
         let a = args(&[
             "--scale",
             "quick",
@@ -699,6 +768,7 @@ mod tests {
             "\"null_grid\"",
             "\"fig7_duration\"",
             "\"csv_stream\"",
+            "\"workload_zoo\"",
             "\"served_grid\"",
             "\"warm_speedup_vs_fresh\"",
             "\"speedup\"",
@@ -730,6 +800,14 @@ mod tests {
             &["client", "grid", "--workers", "2"],
             &["client", "grid", "--cache-dir", "somewhere"],
             &["client", "grid", "--priority", "urgent"],
+            &["client", "grid", "--stream"],
+            &["client", "ping", "--out", "somewhere"],
+            &["client", "experiment"],
+            &["client", "experiment", "all"],
+            &["client", "experiment", "table1", "fig1"],
+            &["client", "experiment", "warp-field"],
+            &["client", "experiment", "table1", "--csv"],
+            &["client", "experiment", "table1", "--priority", "bulk"],
             &["table1", "--addr", "127.0.0.1:1"],
             &["table1", "--csv"],
             &["--served", "table1"],
@@ -753,6 +831,41 @@ mod tests {
         ]))
         .unwrap();
         super::run(&args(&["client", "--addr", addr.as_str(), "stats"])).unwrap();
+
+        // `client experiment`: the served artifacts are byte-identical to
+        // a local run of the same experiment — the acceptance identity
+        // for the workload-accuracy sweep's served path.
+        let base = std::env::temp_dir().join(format!("repro-exp-{}", std::process::id()));
+        let served_dir = base.join("served");
+        let local_dir = base.join("local");
+        super::run(&args(&[
+            "client",
+            "--addr",
+            addr.as_str(),
+            "--scale",
+            "quick",
+            "--stream",
+            "--out",
+            served_dir.to_str().unwrap(),
+            "experiment",
+            "workload-accuracy",
+        ]))
+        .unwrap();
+        super::run(&args(&[
+            "--scale",
+            "quick",
+            "--out",
+            local_dir.to_str().unwrap(),
+            "workload-accuracy",
+        ]))
+        .unwrap();
+        for name in ["workload_accuracy.csv", "workload_accuracy.txt"] {
+            let served = std::fs::read_to_string(served_dir.join(name)).unwrap();
+            let local = std::fs::read_to_string(local_dir.join(name)).unwrap();
+            assert_eq!(served, local, "{name}: served diverged from local");
+        }
+        let _ = std::fs::remove_dir_all(&base);
+
         super::run(&args(&["client", "--addr", addr.as_str(), "shutdown"])).unwrap();
         server.join();
     }

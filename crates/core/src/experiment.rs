@@ -700,6 +700,7 @@ pub fn registry() -> &'static [&'static dyn Experiment] {
         &experiments::anova::AnovaFigure,
         &experiments::cache::ExtCache,
         &experiments::multiplexing::ExtMultiplex,
+        &experiments::workload::WorkloadAccuracy,
         &experiments::csv::CsvDump,
     ];
     REGISTRY

@@ -15,6 +15,7 @@
 //! | [`anova`] | §4.3 (n-way ANOVA of the error factors) |
 //! | [`cache`] | extension: d-cache miss accuracy (Korn-style) |
 //! | [`multiplexing`] | extension: multiplexed counting accuracy |
+//! | [`workload`] | extension: counter accuracy vs. workload class |
 //! | [`csv`] | the full null grid as CSV (Figure 1's raw data) |
 //!
 //! Every submodule registers its drivers as [`crate::experiment::Experiment`]
@@ -38,3 +39,4 @@ pub mod overview;
 pub mod registers;
 pub mod tables;
 pub mod tsc;
+pub mod workload;

@@ -339,17 +339,19 @@ fn counter_delta(pattern: Pattern, c0: u64, c1: u64) -> Result<u64> {
 
 /// The statically known count of the primary event for this configuration.
 ///
-/// Only retired instructions have an analytical model (§6: “it is
-/// independent of the micro-architecture”); for every other event the
-/// expectation is 0 and the raw measurement is reported (Figures 10–12
-/// plot raw cycles).
+/// Delegates to the benchmark's per-event oracle table
+/// ([`Benchmark::expected_counts`] /
+/// [`Benchmark::expected_kernel_counts`]), summed per the counting mode.
+/// Events with no closed form for this benchmark (cycles, and the
+/// placement-dependent front-end events of the looping kernels) expect 0,
+/// so the raw measurement is reported (Figures 10–12 plot raw cycles).
 pub fn expected_count(config: &MeasurementConfig, benchmark: &Benchmark) -> u64 {
-    if config.event != Event::InstructionsRetired {
-        return 0;
-    }
+    let user = benchmark.expected_counts(config.event).unwrap_or(0);
+    let kernel = benchmark.expected_kernel_counts(config.event).unwrap_or(0);
     match config.mode {
-        CountingMode::User | CountingMode::UserKernel => benchmark.expected_instructions(),
-        CountingMode::Kernel => 0,
+        CountingMode::User => user,
+        CountingMode::Kernel => kernel,
+        CountingMode::UserKernel => user + kernel,
     }
 }
 

@@ -268,6 +268,11 @@ fn parse_benchmark(name: &str, iters: u64) -> Result<Benchmark> {
         "null" => Err(proto(format!("null benchmark with {iters} iterations"))),
         "loop" => Ok(Benchmark::Loop { iters }),
         "arraywalk" => Ok(Benchmark::ArrayWalk { iters }),
+        "pointerchase" => Ok(Benchmark::PointerChase { iters }),
+        "branchy" => Ok(Benchmark::Branchy { iters }),
+        "storestream" => Ok(Benchmark::StoreStream { iters }),
+        "syscallheavy" => Ok(Benchmark::SyscallHeavy { iters }),
+        "nestedloop" => Ok(Benchmark::NestedLoop { iters }),
         _ => Err(proto(format!("unknown benchmark {name:?}"))),
     }
 }
@@ -1061,6 +1066,11 @@ mod tests {
                     Benchmark::Null,
                     Benchmark::Loop { iters: 1000 },
                     Benchmark::ArrayWalk { iters: 7 },
+                    Benchmark::PointerChase { iters: 33 },
+                    Benchmark::Branchy { iters: 12 },
+                    Benchmark::StoreStream { iters: 64 },
+                    Benchmark::SyscallHeavy { iters: 3 },
+                    Benchmark::NestedLoop { iters: 9 },
                 ] {
                     let cfg = MeasurementConfig::new(Processor::AthlonK8, interface)
                         .with_pattern(pattern)
@@ -1169,6 +1179,28 @@ mod tests {
         let cell = Grid::new(Benchmark::Null).cells().next().unwrap();
         let key = cell_key(&cell, Benchmark::Null, 2, 0x6121D, false);
         assert_eq!(key, 0xC65A_1714_B5CA_F42B, "update the pinned constant: {key:#018X}");
+    }
+
+    #[test]
+    fn cell_key_pinned_per_zoo_variant() {
+        // One frozen fixture per benchmark name: the serving cache is
+        // content-addressed by these keys, so a silent shift would alias
+        // old entries onto new semantics. Same freeze contract as
+        // `cell_key_pinned_value`.
+        let cell = Grid::new(Benchmark::Null).cells().next().unwrap();
+        let pinned: [(Benchmark, u64); 7] = [
+            (Benchmark::Loop { iters: 64 }, 0xA878_1F6A_3AD1_ECEC),
+            (Benchmark::ArrayWalk { iters: 64 }, 0x0A80_0333_5472_EDD2),
+            (Benchmark::PointerChase { iters: 64 }, 0xBBB3_167A_A4D8_6655),
+            (Benchmark::Branchy { iters: 64 }, 0xEF86_51C7_B40E_4193),
+            (Benchmark::StoreStream { iters: 64 }, 0x6032_42CF_E964_875B),
+            (Benchmark::SyscallHeavy { iters: 64 }, 0xAD09_3E4A_FDB7_3E67),
+            (Benchmark::NestedLoop { iters: 64 }, 0xD146_EAF6_9A2C_550C),
+        ];
+        for (bench, expect) in pinned {
+            let key = cell_key(&cell, bench, 2, 0x6121D, false);
+            assert_eq!(key, expect, "{bench}: update the pinned constant: {key:#018X}");
+        }
     }
 
     #[test]

@@ -201,7 +201,10 @@ impl Machine {
             branches: mix.branches,
             branch_mispredictions: 0,
             icache_misses: 0,
-            dcache_misses: mix.loads / Self::STRAIGHT_LOAD_MISS_PERIOD,
+            // Dependent loads walk to a fresh line each time, so every one
+            // misses; ordinary straight-line loads miss at the pollution
+            // period.
+            dcache_misses: mix.loads / Self::STRAIGHT_LOAD_MISS_PERIOD + mix.chase_loads,
             itlb_misses: 0,
         };
         self.commit(&delta, privilege);
@@ -279,9 +282,11 @@ impl Machine {
             // An unstable BTB re-mispredicts the backward branch every
             // iteration — that's where its +1 cycle/iteration goes.
             branch_mispredictions: if analysis.btb_stable { 0 } else { iters },
-            // A loop that loads walks its data sequentially: one miss per
-            // cache line's worth of elements.
-            dcache_misses: body.loads * iters / Self::SEQUENTIAL_WALK_MISS_PERIOD,
+            // A loop that loads or stores walks its data sequentially: one
+            // miss per cache line's worth of elements. Dependent loads
+            // (pointer chases) miss on every single iteration.
+            dcache_misses: (body.loads + body.stores) * iters / Self::SEQUENTIAL_WALK_MISS_PERIOD
+                + body.chase_loads * iters,
             ..EventDelta::default()
         };
         self.commit(&delta, privilege);
@@ -662,6 +667,47 @@ mod tests {
         let mix = MixBuilder::new().alu(100).loads(80).build();
         m.execute_mix(&mix, Privilege::Kernel);
         assert_eq!(m.pmu().read_pmc(0).unwrap(), 10);
+    }
+
+    #[test]
+    fn chase_loads_miss_every_iteration() {
+        use crate::mix::MixBuilder;
+        let mut m = Machine::new(Processor::AthlonK8);
+        m.pmu_mut()
+            .program(
+                0,
+                PmcConfig::counting(Event::DCacheMisses, CountMode::UserOnly),
+            )
+            .unwrap();
+        let body = MixBuilder::new().alu(1).chase_loads(1).branches(1, 1).build();
+        m.execute_loop(&body, 777, CodePlacement::at(0x0804_9000), Privilege::User);
+        assert_eq!(m.pmu().read_pmc(0).unwrap(), 777);
+        // Straight-line chases miss too, one per chase load.
+        m.execute_mix(
+            &MixBuilder::new().alu(3).chase_loads(5).build(),
+            Privilege::User,
+        );
+        assert_eq!(m.pmu().read_pmc(0).unwrap(), 782);
+    }
+
+    #[test]
+    fn streaming_stores_miss_once_per_line() {
+        use crate::mix::MixBuilder;
+        let mut m = Machine::new(Processor::AthlonK8);
+        m.pmu_mut()
+            .program(
+                0,
+                PmcConfig::counting(Event::DCacheMisses, CountMode::UserOnly),
+            )
+            .unwrap();
+        let body = MixBuilder::new().alu(2).stores(1).branches(1, 1).build();
+        m.execute_loop(
+            &body,
+            16_000,
+            CodePlacement::at(0x0804_9000),
+            Privilege::User,
+        );
+        assert_eq!(m.pmu().read_pmc(0).unwrap(), 1_000);
     }
 
     #[test]

@@ -28,6 +28,10 @@ pub struct InstMix {
     pub taken_branches: u64,
     /// Memory loads.
     pub loads: u64,
+    /// Dependent (pointer-chasing) loads: each load's address comes from
+    /// the previous load's data, so no two can overlap and every one
+    /// walks to a fresh cache line — they miss L1D unconditionally.
+    pub chase_loads: u64,
     /// Memory stores.
     pub stores: u64,
     /// `RDPMC` executions.
@@ -49,6 +53,7 @@ impl InstMix {
         branches: 1,
         taken_branches: 1,
         loads: 0,
+        chase_loads: 0,
         stores: 0,
         rdpmc: 0,
         rdtsc: 0,
@@ -68,6 +73,7 @@ impl InstMix {
             branches: 0,
             taken_branches: 0,
             loads: 0,
+            chase_loads: 0,
             stores: 0,
             rdpmc: 0,
             rdtsc: 0,
@@ -86,6 +92,7 @@ impl InstMix {
         self.alu
             + self.branches
             + self.loads
+            + self.chase_loads
             + self.stores
             + self.rdpmc
             + self.rdtsc
@@ -101,7 +108,7 @@ impl InstMix {
     pub const fn code_bytes(&self) -> u64 {
         self.alu * 3
             + self.branches * 2
-            + self.loads * 3
+            + (self.loads + self.chase_loads) * 3
             + self.stores * 3
             + (self.rdpmc + self.rdtsc + self.rdmsr + self.wrmsr) * 2
     }
@@ -113,6 +120,7 @@ impl InstMix {
             branches: self.branches + other.branches,
             taken_branches: self.taken_branches + other.taken_branches,
             loads: self.loads + other.loads,
+            chase_loads: self.chase_loads + other.chase_loads,
             stores: self.stores + other.stores,
             rdpmc: self.rdpmc + other.rdpmc,
             rdtsc: self.rdtsc + other.rdtsc,
@@ -128,6 +136,7 @@ impl InstMix {
             branches: self.branches * n,
             taken_branches: self.taken_branches * n,
             loads: self.loads * n,
+            chase_loads: self.chase_loads * n,
             stores: self.stores * n,
             rdpmc: self.rdpmc * n,
             rdtsc: self.rdtsc * n,
@@ -181,6 +190,13 @@ impl MixBuilder {
     /// Adds loads.
     pub fn loads(mut self, n: u64) -> Self {
         self.mix.loads += n;
+        self
+    }
+
+    /// Adds dependent (pointer-chasing) loads — see
+    /// [`InstMix::chase_loads`].
+    pub fn chase_loads(mut self, n: u64) -> Self {
+        self.mix.chase_loads += n;
         self
     }
 
@@ -277,12 +293,21 @@ mod tests {
             .alu(1)
             .branches(1, 0)
             .loads(1)
+            .chase_loads(1)
             .stores(1)
             .rdpmc(1)
             .rdtsc(1)
             .rdmsr(1)
             .wrmsr(1)
             .build();
-        assert_eq!(m.code_bytes(), 3 + 2 + 3 + 3 + 2 + 2 + 2 + 2);
+        assert_eq!(m.code_bytes(), 3 + 2 + 3 + 3 + 3 + 2 + 2 + 2 + 2);
+    }
+
+    #[test]
+    fn chase_loads_count_as_instructions() {
+        let m = MixBuilder::new().alu(1).chase_loads(3).branches(1, 1).build();
+        assert_eq!(m.total_instructions(), 5);
+        assert_eq!(m.repeated(4).chase_loads, 12);
+        assert_eq!(m.merged(&m).chase_loads, 6);
     }
 }

@@ -92,7 +92,8 @@ impl std::fmt::Display for CyclesPerIteration {
 /// (`RDPMC`/`RDTSC` are tens of cycles, `RDMSR`/`WRMSR` are serializing and
 /// cost on the order of a hundred cycles — §2.2).
 pub fn straight_cycles(uarch: &Uarch, mix: &InstMix) -> u64 {
-    let plain = mix.alu + mix.branches + mix.loads + mix.stores;
+    let plain = mix.alu + mix.branches + mix.loads + mix.chase_loads + mix.stores;
+    let chase = mix.chase_loads * dcache_miss_penalty(uarch);
     // One `div_ceil` per retired mix makes this the hottest division in
     // the simulator; dispatching on the three shipped IPC constants lets
     // the compiler strength-reduce each to a multiply (identical
@@ -104,7 +105,8 @@ pub fn straight_cycles(uarch: &Uarch, mix: &InstMix) -> u64 {
         250 => n.div_ceil(250),
         d => n.div_ceil(d),
     };
-    base + mix.rdpmc * uarch.rdpmc_cycles
+    base + chase
+        + mix.rdpmc * uarch.rdpmc_cycles
         + mix.rdtsc * uarch.rdtsc_cycles
         + (mix.rdmsr + mix.wrmsr) * uarch.msr_access_cycles
 }
@@ -133,7 +135,11 @@ pub fn loop_cpi(
 ) -> CyclesPerIteration {
     let bytes = body.code_bytes();
     let straddle_fetch = placement.straddles(bytes, FETCH_WINDOW_BYTES);
-    match uarch.arch {
+    // A dependent load chain stalls the loop for a full L1D-miss fill per
+    // chase load, every iteration — no out-of-order window hides a load
+    // whose address is the previous load's data.
+    let chase = body.chase_loads * dcache_miss_penalty(uarch);
+    let base = match uarch.arch {
         MicroArch::K8 => {
             let mut cpi = CyclesPerIteration::new(2, 1);
             if straddle_fetch {
@@ -167,6 +173,21 @@ pub fn loop_cpi(
             }
             cpi
         }
+    };
+    if chase > 0 {
+        base.plus(CyclesPerIteration::new(chase, 1))
+    } else {
+        base
+    }
+}
+
+/// L1 data-cache miss penalty in cycles (fill from L2) — the stall a
+/// dependent-load chain pays on every link.
+pub fn dcache_miss_penalty(uarch: &Uarch) -> u64 {
+    match uarch.arch {
+        MicroArch::NetBurst => 28,
+        MicroArch::Core2 => 14,
+        MicroArch::K8 => 12,
     }
 }
 
@@ -294,5 +315,26 @@ mod tests {
     #[test]
     fn empty_mix_costs_nothing() {
         assert_eq!(straight_cycles(&CORE2_DUO, &InstMix::empty()), 0);
+    }
+
+    #[test]
+    fn chase_loads_add_a_miss_penalty_per_iteration() {
+        use crate::mix::MixBuilder;
+        let plain = MixBuilder::new().alu(1).loads(1).branches(1, 1).build();
+        let chasing = MixBuilder::new().alu(1).chase_loads(1).branches(1, 1).build();
+        for (uarch, penalty) in [(&ATHLON_K8, 12), (&CORE2_DUO, 14), (&PENTIUM_D, 28)] {
+            assert_eq!(dcache_miss_penalty(uarch), penalty);
+            let base = loop_cpi(uarch, placed(0), &plain, true);
+            let chase = loop_cpi(uarch, placed(0), &chasing, true);
+            assert_eq!(
+                chase.as_f64() - base.as_f64(),
+                penalty as f64,
+                "{:?}",
+                uarch.arch
+            );
+            // Straight-line chases stall too.
+            let s = straight_cycles(uarch, &MixBuilder::new().chase_loads(2).build());
+            assert_eq!(s, 2 * penalty + (2 * 100u64).div_ceil(uarch.ipc_times_100));
+        }
     }
 }

@@ -57,6 +57,11 @@ fn arb_benchmark() -> impl Strategy<Value = Benchmark> {
         Just(Benchmark::Null),
         (1u64..50_000).prop_map(|iters| Benchmark::Loop { iters }),
         (1u64..20_000).prop_map(|iters| Benchmark::ArrayWalk { iters }),
+        (1u64..10_000).prop_map(|iters| Benchmark::PointerChase { iters }),
+        (1u64..10_000).prop_map(|iters| Benchmark::Branchy { iters }),
+        (1u64..20_000).prop_map(|iters| Benchmark::StoreStream { iters }),
+        (1u64..500).prop_map(|iters| Benchmark::SyscallHeavy { iters }),
+        (1u64..2_000).prop_map(|iters| Benchmark::NestedLoop { iters }),
     ]
 }
 
