@@ -1,0 +1,356 @@
+//! The findings ratchet: a committed baseline of known findings.
+//!
+//! A baseline records, per `(file, rule)`, how many findings the tree is
+//! allowed to carry. `--baseline` makes the exit code a *ratchet*: a
+//! count above its baseline entry fails the run, a count at or below it
+//! passes, and improvements are reported so the baseline can be
+//! tightened with `--write-baseline`. The dogfood tree keeps an empty
+//! baseline committed (it lints clean); the ratchet exists so a future
+//! rule can land before the tree is fully clean under it, without
+//! letting any file regress.
+//!
+//! The file format is a single-line JSON document rendered and parsed by
+//! this module (no serde in an offline workspace):
+//!
+//! ```text
+//! {"countlint-baseline":1,"entries":[{"file":"a.rs","rule":"r","count":2}]}
+//! ```
+//!
+//! Rendering is deterministic (entries sorted by file then rule), so the
+//! committed file is byte-stable. The parser tolerates arbitrary
+//! whitespace between tokens but requires the keys in the order shown.
+
+use crate::report::Finding;
+use std::collections::BTreeMap;
+
+/// Allowed finding counts keyed by `(file, rule)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    pub entries: BTreeMap<(String, String), usize>,
+}
+
+/// One `(file, rule)` whose count differs from its baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Drift {
+    pub file: String,
+    pub rule: String,
+    pub baseline: usize,
+    pub current: usize,
+}
+
+/// The result of comparing a run against a baseline.
+#[derive(Debug, Clone, Default)]
+pub struct Delta {
+    /// Counts above baseline: these fail the ratchet.
+    pub regressions: Vec<Drift>,
+    /// Counts below baseline: the baseline can be tightened.
+    pub improvements: Vec<Drift>,
+}
+
+impl Baseline {
+    /// Aggregates findings into per-`(file, rule)` counts.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut entries: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for f in findings {
+            *entries.entry((f.file.clone(), f.rule.clone())).or_insert(0) += 1;
+        }
+        Baseline { entries }
+    }
+
+    /// Renders the canonical single-line document (with trailing newline).
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\"countlint-baseline\":1,\"entries\":[");
+        for (i, ((file, rule), count)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"file\":");
+            json_string(&mut out, file);
+            out.push_str(",\"rule\":");
+            json_string(&mut out, rule);
+            out.push_str(",\"count\":");
+            out.push_str(&count.to_string());
+            out.push('}');
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// Parses a document produced by [`Baseline::render`] (whitespace
+    /// between tokens is tolerated; key order is required).
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut p = Parser {
+            chars: text.chars().collect(),
+            at: 0,
+        };
+        let mut entries = BTreeMap::new();
+        p.expect('{')?;
+        p.expect_key("countlint-baseline")?;
+        let version = p.number()?;
+        if version != 1 {
+            return Err(format!("unsupported baseline version {version}"));
+        }
+        p.expect(',')?;
+        p.expect_key("entries")?;
+        p.expect('[')?;
+        p.skip_ws();
+        if !p.try_eat(']') {
+            loop {
+                p.expect('{')?;
+                p.expect_key("file")?;
+                let file = p.string()?;
+                p.expect(',')?;
+                p.expect_key("rule")?;
+                let rule = p.string()?;
+                p.expect(',')?;
+                p.expect_key("count")?;
+                let count = p.number()?;
+                p.expect('}')?;
+                if entries.insert((file.clone(), rule.clone()), count).is_some() {
+                    return Err(format!("duplicate baseline entry for {file} [{rule}]"));
+                }
+                if !p.try_eat(',') {
+                    break;
+                }
+            }
+            p.expect(']')?;
+        }
+        p.expect('}')?;
+        p.skip_ws();
+        if p.at != p.chars.len() {
+            return Err("trailing content after baseline document".to_string());
+        }
+        Ok(Baseline { entries })
+    }
+}
+
+/// Compares a run's counts against the baseline.
+pub fn compare(base: &Baseline, current: &Baseline) -> Delta {
+    let mut delta = Delta::default();
+    let keys: std::collections::BTreeSet<&(String, String)> =
+        base.entries.keys().chain(current.entries.keys()).collect();
+    for key in keys {
+        let b = base.entries.get(key).copied().unwrap_or(0);
+        let c = current.entries.get(key).copied().unwrap_or(0);
+        if b == c {
+            continue;
+        }
+        let drift = Drift {
+            file: key.0.clone(),
+            rule: key.1.clone(),
+            baseline: b,
+            current: c,
+        };
+        if c > b {
+            delta.regressions.push(drift);
+        } else {
+            delta.improvements.push(drift);
+        }
+    }
+    delta
+}
+
+/// Appends `s` as a JSON string literal (same escaping as the report).
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A tiny cursor over the baseline document.
+struct Parser {
+    chars: Vec<char>,
+    at: usize,
+}
+
+impl Parser {
+    fn skip_ws(&mut self) {
+        while self.chars.get(self.at).is_some_and(|c| c.is_whitespace()) {
+            self.at += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        self.skip_ws();
+        if self.chars.get(self.at) == Some(&c) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{c}` at offset {}, found {:?}",
+                self.at,
+                self.chars.get(self.at)
+            ))
+        }
+    }
+
+    fn try_eat(&mut self, c: char) -> bool {
+        self.skip_ws();
+        if self.chars.get(self.at) == Some(&c) {
+            self.at += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `"key" :` with the exact key name.
+    fn expect_key(&mut self, key: &str) -> Result<(), String> {
+        let got = self.string()?;
+        if got != key {
+            return Err(format!("expected key {key:?}, found {got:?}"));
+        }
+        self.expect(':')
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&c) = self.chars.get(self.at) else {
+                return Err("unterminated string in baseline".to_string());
+            };
+            self.at += 1;
+            match c {
+                '"' => return Ok(out),
+                '\\' => {
+                    let Some(&e) = self.chars.get(self.at) else {
+                        return Err("dangling escape in baseline string".to_string());
+                    };
+                    self.at += 1;
+                    match e {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'n' => out.push('\n'),
+                        'r' => out.push('\r'),
+                        't' => out.push('\t'),
+                        'u' => {
+                            let hex: String =
+                                self.chars.iter().skip(self.at).take(4).collect();
+                            if hex.len() != 4 {
+                                return Err("truncated \\u escape".to_string());
+                            }
+                            let code = u32::from_str_radix(&hex, 16)
+                                .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                            self.at += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("bad codepoint \\u{hex}"))?,
+                            );
+                        }
+                        other => return Err(format!("unknown escape \\{other}")),
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<usize, String> {
+        self.skip_ws();
+        let start = self.at;
+        while self.chars.get(self.at).is_some_and(|c| c.is_ascii_digit()) {
+            self.at += 1;
+        }
+        if self.at == start {
+            return Err(format!("expected a number at offset {start}"));
+        }
+        let text: String = self.chars[start..self.at].iter().collect();
+        text.parse::<usize>()
+            .map_err(|_| format!("number out of range: {text}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, rule: &str, line: usize) -> Finding {
+        Finding {
+            file: file.into(),
+            line,
+            rule: rule.into(),
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_byte_stable() {
+        let findings = vec![
+            finding("b.rs", "rule-x", 3),
+            finding("a.rs", "rule-y", 1),
+            finding("b.rs", "rule-x", 9),
+        ];
+        let base = Baseline::from_findings(&findings);
+        let text = base.render();
+        assert_eq!(
+            text,
+            "{\"countlint-baseline\":1,\"entries\":[\
+             {\"file\":\"a.rs\",\"rule\":\"rule-y\",\"count\":1},\
+             {\"file\":\"b.rs\",\"rule\":\"rule-x\",\"count\":2}]}\n"
+        );
+        let parsed = Baseline::parse(&text).unwrap();
+        assert_eq!(parsed, base);
+        assert_eq!(parsed.render(), text);
+    }
+
+    #[test]
+    fn empty_baseline_roundtrips() {
+        let base = Baseline::default();
+        let text = base.render();
+        assert_eq!(text, "{\"countlint-baseline\":1,\"entries\":[]}\n");
+        assert_eq!(Baseline::parse(&text).unwrap(), base);
+    }
+
+    #[test]
+    fn parser_tolerates_whitespace_and_rejects_garbage() {
+        let spaced = "{ \"countlint-baseline\" : 1 ,\n  \"entries\" : [\n    \
+                      { \"file\" : \"a.rs\" , \"rule\" : \"r\" , \"count\" : 2 }\n  ] }\n";
+        let base = Baseline::parse(spaced).unwrap();
+        assert_eq!(base.entries.get(&("a.rs".into(), "r".into())), Some(&2));
+        assert!(Baseline::parse("not json").is_err());
+        assert!(Baseline::parse("{\"countlint-baseline\":2,\"entries\":[]}").is_err());
+        assert!(Baseline::parse(
+            "{\"countlint-baseline\":1,\"entries\":[]} trailing"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn ratchet_detects_regressions_and_improvements() {
+        let base = Baseline::from_findings(&[
+            finding("a.rs", "r", 1),
+            finding("a.rs", "r", 2),
+            finding("b.rs", "r", 1),
+        ]);
+        let current = Baseline::from_findings(&[
+            finding("a.rs", "r", 1),
+            finding("c.rs", "r", 1),
+        ]);
+        let delta = compare(&base, &current);
+        assert_eq!(delta.regressions.len(), 1);
+        assert_eq!(delta.regressions[0].file, "c.rs");
+        assert_eq!((delta.regressions[0].baseline, delta.regressions[0].current), (0, 1));
+        assert_eq!(delta.improvements.len(), 2);
+        let improved: Vec<&str> = delta.improvements.iter().map(|d| d.file.as_str()).collect();
+        assert_eq!(improved, ["a.rs", "b.rs"]);
+    }
+
+    #[test]
+    fn identical_counts_are_quiet() {
+        let base = Baseline::from_findings(&[finding("a.rs", "r", 1)]);
+        let delta = compare(&base, &base.clone());
+        assert!(delta.regressions.is_empty() && delta.improvements.is_empty());
+    }
+}

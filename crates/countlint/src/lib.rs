@@ -4,14 +4,24 @@
 //! The laboratory's correctness story rests on invariants no compiler
 //! checks: results must be pure, bit-exact functions of their seeds
 //! (the content-addressed serve cache depends on it), the serving path
-//! must not panic while clients wait, and wire codecs must reject rather
-//! than truncate. countlint makes those invariants machine-checked.
+//! must not panic while clients wait, wire codecs must reject rather
+//! than truncate, and the hand-maintained registries (Experiment
+//! registry, Benchmark zoo, wire parse arms, oracle tables, `ALL`
+//! rosters) must stay in lockstep. countlint makes those invariants
+//! machine-checked.
 //!
 //! Because the workspace builds offline with no registry access, the
-//! linter parses nothing with `syn`: [`scan`] is a comment- and
-//! string-literal-aware lexical pass, [`rules`] holds the rule trait and
-//! the static registry (mirroring the `Experiment` registry idiom), and
-//! [`report`] renders deterministic text and JSON reports.
+//! linter parses nothing with `syn`. It runs in two phases:
+//!
+//! 1. [`scan`] is a comment- and string-literal-aware lexical pass, and
+//!    [`parse`] recovers item spans (fn/struct/enum/impl/match) from the
+//!    scrubbed token stream via brace-depth bookkeeping; [`symbols`]
+//!    assembles every file into a workspace-wide symbol graph.
+//! 2. [`rules`] holds the rule trait and the static registry (mirroring
+//!    the `Experiment` registry idiom); each rule checks the whole
+//!    workspace, so cross-file invariants are first-class. [`report`]
+//!    renders deterministic text, JSON and GitHub-annotation reports,
+//!    and [`baseline`] implements the findings ratchet.
 //!
 //! Violations are suppressed inline with a justification pragma:
 //!
@@ -21,20 +31,27 @@
 //! ```
 //!
 //! A pragma on its own line covers the next line that carries code; a
-//! trailing pragma covers its own line. Reasons are mandatory, and
-//! malformed pragmas are themselves (unsuppressable) violations.
+//! trailing pragma covers its own line. Reasons are mandatory, malformed
+//! pragmas are themselves (unsuppressable) violations, and a pragma that
+//! suppresses nothing is a stale claim and an `unused-pragma` finding.
+//! Pragma-shaped text inside doc comments is documentation and inert.
 
+pub mod baseline;
+pub mod parse;
 pub mod report;
 pub mod rules;
 pub mod scan;
+pub mod symbols;
 
+use std::collections::BTreeSet;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
 use report::Finding;
-use rules::{registry, PragmaHygiene};
+use rules::{registry, UnusedPragma};
 use scan::SourceFile;
+use symbols::Workspace;
 
 /// The result of linting a tree or a single source text.
 #[derive(Debug)]
@@ -65,50 +82,95 @@ pub fn lint_root(root: &Path) -> io::Result<LintOutcome> {
     collect_rs_files(root, &mut files)?;
     files.sort();
 
-    let mut outcome = LintOutcome {
-        findings: Vec::new(),
-        files_scanned: 0,
-        suppressed: 0,
-    };
+    let mut sources = Vec::with_capacity(files.len());
     for path in files {
         let rel = relative_slash_path(root, &path);
         let source = fs::read_to_string(&path)?;
-        lint_one(&rel, &source, &mut outcome);
+        sources.push(SourceFile::scan(&rel, &source));
     }
-    report::sort(&mut outcome.findings);
-    Ok(outcome)
+    Ok(lint_files(sources))
 }
 
 /// Lints a single source text as if it lived at `virtual_path`
-/// (repo-relative, `/`-separated — rule scoping keys off it).
+/// (repo-relative, `/`-separated — rule scoping keys off it). The text
+/// is a one-file workspace, so cross-file rules see only it.
 pub fn lint_source(virtual_path: &str, source: &str) -> LintOutcome {
-    let mut outcome = LintOutcome {
-        findings: Vec::new(),
-        files_scanned: 0,
-        suppressed: 0,
-    };
-    lint_one(virtual_path, source, &mut outcome);
-    report::sort(&mut outcome.findings);
-    outcome
+    lint_files(vec![SourceFile::scan(virtual_path, source)])
 }
 
-/// Scans one file and folds its findings into `outcome`, applying
-/// suppression pragmas (which never silence pragma-hygiene findings).
-fn lint_one(rel_path: &str, source: &str, outcome: &mut LintOutcome) {
-    let file = SourceFile::scan(rel_path, source);
-    outcome.files_scanned += 1;
+/// Lints several `(virtual_path, source)` texts as one workspace.
+pub fn lint_sources(files: &[(&str, &str)]) -> LintOutcome {
+    lint_files(
+        files
+            .iter()
+            .map(|(p, s)| SourceFile::scan(p, s))
+            .collect(),
+    )
+}
+
+/// Builds the symbol graph, runs every rule, applies suppression, and
+/// flags stale pragmas.
+fn lint_files(sources: Vec<SourceFile>) -> LintOutcome {
+    let ws = Workspace::new(sources);
+    let mut findings = Vec::new();
+    let mut suppressed = 0usize;
+    // Pragmas that silenced at least one finding: (file path, pragma line).
+    let mut used: BTreeSet<(String, usize)> = BTreeSet::new();
+
     for rule in registry() {
-        if !rule.applies_to(rel_path) {
-            continue;
-        }
-        for finding in rule.check(&file) {
-            let suppressible = rule.id() != PragmaHygiene::ID;
-            if suppressible && file.is_suppressed(rule.id(), finding.line) {
-                outcome.suppressed += 1;
+        for finding in rule.check(&ws) {
+            let pragma_line = if rule.suppressible() {
+                ws.file(&finding.file)
+                    .and_then(|wf| wf.source.suppressing_pragma(rule.id(), finding.line))
             } else {
-                outcome.findings.push(finding);
+                None
+            };
+            match pragma_line {
+                Some(line) => {
+                    suppressed += 1;
+                    used.insert((finding.file.clone(), line));
+                }
+                None => findings.push(finding),
             }
         }
+    }
+
+    // Stale-pragma pass: every well-formed pragma naming a known rule
+    // must have suppressed something. (Pragmas naming unknown rules are
+    // pragma-hygiene findings; pragmas on test-only lines cover code no
+    // rule ever checks and are left to the reader.)
+    for wf in ws.files() {
+        for pragma in &wf.source.pragmas {
+            if rules::find(&pragma.rule).is_none() {
+                continue;
+            }
+            let in_test = wf
+                .source
+                .lines
+                .get(pragma.line - 1)
+                .map(|l| l.in_test)
+                .unwrap_or(false);
+            if in_test || used.contains(&(wf.source.path.clone(), pragma.line)) {
+                continue;
+            }
+            findings.push(Finding {
+                file: wf.source.path.clone(),
+                line: pragma.line,
+                rule: UnusedPragma::ID.to_string(),
+                message: format!(
+                    "pragma allow({}) suppresses nothing; the waiver is stale — remove \
+                     it or re-scope it onto the violating line",
+                    pragma.rule
+                ),
+            });
+        }
+    }
+
+    report::sort(&mut findings);
+    LintOutcome {
+        findings,
+        files_scanned: ws.files().len(),
+        suppressed,
     }
 }
 
@@ -160,13 +222,53 @@ use std::collections::HashSet;
     }
 
     #[test]
+    fn pragma_that_suppresses_nothing_is_itself_a_finding() {
+        let src = "\
+// countlint: allow(wall-clock-in-core) -- stale: the Instant below was removed
+let x = 1;
+";
+        let out = lint_source("crates/x/src/lib.rs", src);
+        assert_eq!(out.findings.len(), 1, "{:?}", out.findings);
+        assert_eq!(out.findings[0].rule, "unused-pragma");
+        assert_eq!(out.findings[0].line, 1);
+        assert_eq!(out.suppressed, 0);
+    }
+
+    #[test]
+    fn unused_pragma_findings_cannot_be_suppressed() {
+        // A pragma vouching for an unused pragma: both suppress nothing,
+        // and unused-pragma is unsuppressible, so both are findings.
+        let src = "\
+// countlint: allow(unused-pragma) -- nice try
+// countlint: allow(wall-clock-in-core) -- stale
+let x = 1;
+";
+        let out = lint_source("crates/x/src/lib.rs", src);
+        assert_eq!(out.findings.len(), 2, "{:?}", out.findings);
+        assert!(out.findings.iter().all(|f| f.rule == "unused-pragma"));
+    }
+
+    #[test]
+    fn stale_pragmas_in_test_code_are_not_policed() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    // countlint: allow(wall-clock-in-core) -- rules skip tests anyway
+    fn f() {}
+}
+";
+        let out = lint_source("crates/x/src/lib.rs", src);
+        assert!(out.is_clean(), "{:?}", out.findings);
+    }
+
+    #[test]
     fn malformed_pragma_cannot_suppress_itself() {
         let src = "// countlint: allow(malformed-pragma) -- nice try\nlet x = 1;\n";
         let out = lint_source("crates/x/src/lib.rs", src);
-        // The pragma parses, but it names the hygiene rule, whose
-        // findings ignore suppression; here it simply has no finding to
-        // suppress and is counted as nothing.
-        assert!(out.findings.is_empty());
+        // The pragma parses and names the hygiene rule, but it suppresses
+        // nothing — which since v2 is itself a finding.
+        assert_eq!(out.findings.len(), 1);
+        assert_eq!(out.findings[0].rule, "unused-pragma");
 
         let bad = "// countlint: allow(whatever)\nlet x = 1;\n";
         let out = lint_source("crates/x/src/lib.rs", bad);
@@ -195,5 +297,22 @@ use std::collections::HashSet;
         let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n";
         let out = lint_source("crates/x/src/lib.rs", src);
         assert!(out.is_clean());
+    }
+
+    #[test]
+    fn lint_sources_builds_one_workspace() {
+        let out = lint_sources(&[
+            (
+                "crates/core/src/experiment.rs",
+                "pub fn registry() -> u8 {\n    0\n}\n",
+            ),
+            (
+                "crates/core/src/experiments/x.rs",
+                "pub struct X;\nimpl Experiment for X {}\n",
+            ),
+        ]);
+        assert_eq!(out.files_scanned, 2);
+        assert_eq!(out.findings.len(), 1, "{:?}", out.findings);
+        assert_eq!(out.findings[0].rule, "unregistered-experiment");
     }
 }

@@ -1,35 +1,75 @@
 //! The countlint CLI.
 //!
 //! ```text
-//! cargo run -p countlint              # lint the workspace, text report
-//! cargo run -p countlint -- --json   # byte-stable JSON report
+//! cargo run -p countlint                        # lint the workspace, text report
+//! cargo run -p countlint -- --format json       # byte-stable JSON report
+//! cargo run -p countlint -- --format github     # GitHub PR annotations
+//! cargo run -p countlint -- --baseline lint-baseline.json
+//! cargo run -p countlint -- --write-baseline lint-baseline.json
 //! cargo run -p countlint -- --list-rules
 //! cargo run -p countlint -- --root some/tree
 //! ```
 //!
-//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
+//! Exit codes: `0` clean (or within baseline), `1` violations found (or
+//! ratchet regressions when `--baseline` is given), `2` usage or I/O
+//! error.
 
+use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use countlint::{lint_root, report, rules};
+use countlint::{baseline, lint_root, report, rules};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Github,
+}
 
 struct Options {
     root: PathBuf,
-    json: bool,
+    format: Format,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
     list_rules: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         root: PathBuf::from("."),
-        json: false,
+        format: Format::Text,
+        baseline: None,
+        write_baseline: None,
         list_rules: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--json" => opts.json = true,
+            "--json" => opts.format = Format::Json,
+            "--format" => {
+                let value = args
+                    .next()
+                    .ok_or_else(|| "--format requires text, json or github".to_string())?;
+                opts.format = match value.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    "github" => Format::Github,
+                    other => return Err(format!("unknown format `{other}`")),
+                };
+            }
+            "--baseline" => {
+                let value = args
+                    .next()
+                    .ok_or_else(|| "--baseline requires a file argument".to_string())?;
+                opts.baseline = Some(PathBuf::from(value));
+            }
+            "--write-baseline" => {
+                let value = args
+                    .next()
+                    .ok_or_else(|| "--write-baseline requires a file argument".to_string())?;
+                opts.write_baseline = Some(PathBuf::from(value));
+            }
             "--list-rules" => opts.list_rules = true,
             "--root" => {
                 let value = args
@@ -46,14 +86,24 @@ fn parse_args() -> Result<Options, String> {
     Ok(opts)
 }
 
-const USAGE: &str = "usage: countlint [--root <dir>] [--json] [--list-rules]
+const USAGE: &str = "usage: countlint [--root <dir>] [--format text|json|github] \
+[--baseline <file>] [--write-baseline <file>] [--list-rules]
 
 Lints every .rs file under the root (default: current directory) against
-counterlab's determinism and serving-safety rules. Exits 0 when clean,
-1 when violations are found, 2 on usage or I/O errors.
+counterlab's determinism, serving-safety and registry-drift rules. Exits
+0 when clean, 1 when violations are found, 2 on usage or I/O errors.
+
+  --format github      emit ::error workflow commands (inline PR annotations)
+  --baseline <file>    ratchet mode: exit 1 only when a (file, rule) finding
+                       count exceeds the committed baseline; improvements are
+                       reported so the baseline can be tightened
+  --write-baseline <file>
+                       record the current finding counts as the new baseline
+  --json               alias for --format json
 
 Suppress a finding with an inline pragma on (or directly above) the line:
-  // countlint: allow(<rule>) -- <why this is sound>";
+  // countlint: allow(<rule>) -- <why this is sound>
+A pragma that suppresses nothing is itself a finding (unused-pragma).";
 
 fn main() -> ExitCode {
     let opts = match parse_args() {
@@ -71,7 +121,12 @@ fn main() -> ExitCode {
 
     if opts.list_rules {
         for rule in rules::registry() {
-            println!("{}\n    {}\n", rule.id(), rule.summary());
+            let tag = if rule.suppressible() {
+                ""
+            } else {
+                " (unsuppressible)"
+            };
+            println!("{}{}\n    {}\n", rule.id(), tag, rule.summary());
         }
         return ExitCode::SUCCESS;
     }
@@ -83,17 +138,75 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let current = baseline::Baseline::from_findings(&outcome.findings);
 
-    let rendered = if opts.json {
-        report::render_json(&outcome.findings, outcome.files_scanned, outcome.suppressed)
-    } else {
-        report::render_text(&outcome.findings, outcome.files_scanned, outcome.suppressed)
+    let delta = match &opts.baseline {
+        Some(path) => {
+            let text = match fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(err) => {
+                    eprintln!("countlint: cannot read baseline {}: {err}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            match baseline::Baseline::parse(&text) {
+                Ok(base) => Some(baseline::compare(&base, &current)),
+                Err(err) => {
+                    eprintln!("countlint: bad baseline {}: {err}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => None,
+    };
+
+    if let Some(path) = &opts.write_baseline {
+        if let Err(err) = fs::write(path, current.render()) {
+            eprintln!("countlint: cannot write baseline {}: {err}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    let rendered = match opts.format {
+        Format::Text => {
+            report::render_text(&outcome.findings, outcome.files_scanned, outcome.suppressed)
+        }
+        Format::Json => {
+            report::render_json(&outcome.findings, outcome.files_scanned, outcome.suppressed)
+        }
+        Format::Github => {
+            report::render_github(&outcome.findings, outcome.files_scanned, outcome.suppressed)
+        }
     };
     print!("{rendered}");
 
-    if outcome.is_clean() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
+    match delta {
+        Some(delta) => {
+            for d in &delta.regressions {
+                println!(
+                    "countlint: ratchet regression: {} [{}] {} finding(s) > baseline {}",
+                    d.file, d.rule, d.current, d.baseline
+                );
+            }
+            for d in &delta.improvements {
+                println!(
+                    "countlint: ratchet improvement: {} [{}] {} finding(s) < baseline {} \
+                     (tighten with --write-baseline)",
+                    d.file, d.rule, d.current, d.baseline
+                );
+            }
+            if delta.regressions.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        None => {
+            if outcome.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
     }
 }

@@ -1,0 +1,631 @@
+//! Phase 1 of the analyzer: a brace-tree item parser over scrubbed code.
+//!
+//! This is deliberately *not* a Rust parser (the workspace builds offline,
+//! so `syn` is off the table). It recovers exactly the structure the
+//! cross-file rules need from the token stream [`crate::scan::tokens`]
+//! produces over comment- and literal-scrubbed lines:
+//!
+//! * item **spans** (`fn` / `struct` / `enum` / `trait` / `mod` / `impl` /
+//!   `match`) from head keyword to closing brace, via brace-depth
+//!   bookkeeping,
+//! * `enum` **variant** names with their definition lines,
+//! * `impl` **trait and type names** (`impl Experiment for Fig4` →
+//!   trait `Experiment`, type `Fig4`),
+//! * `match` **arms**: the pattern text before each `=>` and its line,
+//! * `fn` **signatures** (head tokens joined), so rules can spot
+//!   guard-returning helpers (`-> MutexGuard<…>`).
+//!
+//! Known, accepted approximations (validated by the dogfood gate and the
+//! fixture corpus): arm patterns are token text, so a `match` guard is
+//! part of the "pattern"; a block-bodied arm followed by expression
+//! trailers can leave garbage tokens that are discarded at the next
+//! top-level `,`; heads never contain braces (true for this codebase's
+//! rustfmt-formatted style).
+
+use crate::scan::{tokens, SourceFile};
+
+/// What kind of item a span is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    Fn,
+    Struct,
+    Enum,
+    Trait,
+    Mod,
+    Impl,
+    Match,
+}
+
+/// One `match` arm: the pattern token text (joined with single spaces)
+/// and the 1-based line of its `=>`.
+#[derive(Debug, Clone)]
+pub struct Arm {
+    pub pattern: String,
+    pub line: usize,
+}
+
+/// One parsed item span.
+#[derive(Debug, Clone)]
+pub struct Item {
+    pub kind: ItemKind,
+    /// Item name (`fn`/`struct`/`enum`/`trait`/`mod` name; for an `impl`
+    /// the *type* name, last path segment). Empty for `match`.
+    pub name: String,
+    /// Enclosing module path inside the file (`a::b`), empty at top level.
+    pub path: String,
+    /// `impl` only: the trait's last path segment, `None` when inherent.
+    pub trait_name: Option<String>,
+    /// 1-based line of the head keyword.
+    pub line: usize,
+    /// 1-based last line of the item (same as `line` for bodyless items).
+    pub end_line: usize,
+    /// Whether the head keyword lies in test-only code.
+    pub in_test: bool,
+    /// Enum only: `(variant name, 1-based line)` in definition order.
+    pub variants: Vec<(String, usize)>,
+    /// Match only: arms in source order.
+    pub arms: Vec<Arm>,
+    /// Fn only: head tokens from `fn` to the body `{`, joined with spaces.
+    pub signature: String,
+}
+
+/// A token with its source position, flattened across lines.
+struct Flat<'a> {
+    line: usize,
+    in_test: bool,
+    text: &'a str,
+    is_word: bool,
+}
+
+/// A head (`fn foo(...)`, `impl T for U`, …) seen but not yet attached to
+/// its `{` body or terminated by `;`.
+struct Pending {
+    kind: ItemKind,
+    line: usize,
+    in_test: bool,
+    toks: Vec<String>,
+}
+
+/// An open (brace-entered) item on the container stack.
+struct Open {
+    /// Index into the output items vec.
+    item: usize,
+    /// Brace depth *outside* the item's `{`; the item closes when a `}`
+    /// returns the depth to this value.
+    close_depth: usize,
+    kind: ItemKind,
+    // Enum-variant collection state.
+    expect_variant: bool,
+    attr_brackets: i32,
+    in_attr: bool,
+    // Match-arm collection state.
+    collecting_pattern: bool,
+    pattern: Vec<String>,
+    pattern_parens: i32,
+}
+
+/// Parses every item span in `file`.
+pub fn parse(file: &SourceFile) -> Vec<Item> {
+    let mut flat: Vec<Flat<'_>> = Vec::new();
+    for line in &file.lines {
+        for t in tokens(&line.code) {
+            flat.push(Flat {
+                line: line.number,
+                in_test: line.in_test,
+                text: t.text,
+                is_word: t.is_word,
+            });
+        }
+    }
+
+    let mut items: Vec<Item> = Vec::new();
+    let mut open: Vec<Open> = Vec::new();
+    // Module-path segments with the depth their body opened at.
+    let mut mods: Vec<(String, usize)> = Vec::new();
+    let mut depth: usize = 0;
+    let mut pending: Option<Pending> = None;
+
+    let mut i = 0;
+    while i < flat.len() {
+        let t = &flat[i];
+
+        if let Some(p) = pending.as_mut() {
+            match t.text {
+                "{" => {
+                    let p = pending.take().unwrap();
+                    let idx = finish_head(&mut items, &mods, p, t.line);
+                    let kind = items[idx].kind;
+                    open.push(Open {
+                        item: idx,
+                        close_depth: depth,
+                        kind,
+                        expect_variant: true,
+                        attr_brackets: 0,
+                        in_attr: false,
+                        collecting_pattern: true,
+                        pattern: Vec::new(),
+                        pattern_parens: 0,
+                    });
+                    if kind == ItemKind::Mod {
+                        mods.push((items[idx].name.clone(), depth));
+                    }
+                    depth += 1;
+                }
+                ";" if p.kind != ItemKind::Match => {
+                    // Bodyless item: `struct X;`, `mod m;`, trait fn decl.
+                    let p = pending.take().unwrap();
+                    let line = p.line;
+                    finish_head(&mut items, &mods, p, line);
+                }
+                _ => p.toks.push(t.text.to_string()),
+            }
+            i += 1;
+            continue;
+        }
+
+        match t.text {
+            "{" => {
+                if let Some(o) = open.last_mut() {
+                    if o.kind == ItemKind::Match && depth == o.close_depth + 1 && o.collecting_pattern {
+                        o.pattern.push("{".to_string());
+                    }
+                }
+                depth += 1;
+            }
+            "}" => {
+                depth = depth.saturating_sub(1);
+                while let Some(o) = open.last() {
+                    if depth <= o.close_depth {
+                        items[o.item].end_line = t.line;
+                        open.pop();
+                    } else {
+                        break;
+                    }
+                }
+                while let Some((_, d)) = mods.last() {
+                    if depth <= *d {
+                        mods.pop();
+                    } else {
+                        break;
+                    }
+                }
+                // A body-`}` returning to arm level ends that arm.
+                if let Some(o) = open.last_mut() {
+                    if o.kind == ItemKind::Match && depth == o.close_depth + 1 {
+                        if o.collecting_pattern {
+                            o.pattern.push("}".to_string());
+                        } else {
+                            o.collecting_pattern = true;
+                            o.pattern.clear();
+                            o.pattern_parens = 0;
+                        }
+                    }
+                }
+            }
+            _ => {
+                let head = head_kind(&flat, i);
+                if let Some(kind) = head {
+                    pending = Some(Pending {
+                        kind,
+                        line: t.line,
+                        in_test: t.in_test,
+                        toks: Vec::new(),
+                    });
+                } else if let Some(o) = open.last_mut() {
+                    if depth == o.close_depth + 1 {
+                        if o.kind == ItemKind::Enum {
+                            enum_token(o, &mut items, t);
+                        } else if o.kind == ItemKind::Match
+                            && match_token(o, &mut items, &flat, i)
+                        {
+                            i += 1; // consumed the `>` of `=>`
+                        }
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+
+    // Unterminated pending head (EOF mid-item): drop it.
+    items
+}
+
+/// Decides whether the token at `i` opens an item head.
+fn head_kind(flat: &[Flat<'_>], i: usize) -> Option<ItemKind> {
+    let t = &flat[i];
+    if !t.is_word {
+        return None;
+    }
+    let next_word = flat.get(i + 1).map(|n| n.is_word).unwrap_or(false);
+    let prev = i.checked_sub(1).map(|j| flat[j].text);
+    match t.text {
+        "fn" if next_word => Some(ItemKind::Fn),
+        "struct" if next_word => Some(ItemKind::Struct),
+        "enum" if next_word => Some(ItemKind::Enum),
+        "trait" if next_word => Some(ItemKind::Trait),
+        "mod" if next_word => Some(ItemKind::Mod),
+        "impl" => {
+            // `impl` in type position (`-> impl Fn()`, `&impl T`,
+            // `Box<impl T>`, `fn f(x: impl T)`) is not an item head.
+            let type_position = matches!(
+                prev,
+                Some("<") | Some("(") | Some(",") | Some(":") | Some("=")
+                    | Some("+") | Some("&") | Some(">") | Some("|")
+            );
+            if type_position {
+                None
+            } else {
+                Some(ItemKind::Impl)
+            }
+        }
+        "match" => {
+            // `match` is a reserved keyword; `matches!` tokenizes as the
+            // word `matches`, so no bang check is needed.
+            if prev == Some(".") {
+                None
+            } else {
+                Some(ItemKind::Match)
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Turns a completed head into an [`Item`] and returns its index.
+fn finish_head(items: &mut Vec<Item>, mods: &[(String, usize)], p: Pending, end: usize) -> usize {
+    let path = mods
+        .iter()
+        .map(|(n, _)| n.as_str())
+        .collect::<Vec<_>>()
+        .join("::");
+    let (name, trait_name) = match p.kind {
+        ItemKind::Impl => impl_names(&p.toks),
+        ItemKind::Match => (String::new(), None),
+        _ => (
+            p.toks.first().cloned().unwrap_or_default(),
+            None,
+        ),
+    };
+    let signature = if p.kind == ItemKind::Fn {
+        format!("fn {}", p.toks.join(" "))
+    } else {
+        String::new()
+    };
+    items.push(Item {
+        kind: p.kind,
+        name,
+        path,
+        trait_name,
+        line: p.line,
+        end_line: end,
+        in_test: p.in_test,
+        variants: Vec::new(),
+        arms: Vec::new(),
+        signature,
+    });
+    items.len() - 1
+}
+
+/// Extracts `(type_name, trait_name)` from an `impl` head's tokens
+/// (everything between `impl` and the body `{`).
+fn impl_names(toks: &[String]) -> (String, Option<String>) {
+    // Skip leading generics `<…>` right after `impl`.
+    let mut start = 0;
+    if toks.first().map(String::as_str) == Some("<") {
+        let mut angle = 0i32;
+        for (j, t) in toks.iter().enumerate() {
+            match t.as_str() {
+                "<" => angle += 1,
+                ">" => {
+                    angle -= 1;
+                    if angle == 0 {
+                        start = j + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    // Find a `for` at angle depth 0: `impl Trait for Type`.
+    let mut angle = 0i32;
+    let mut for_at: Option<usize> = None;
+    for (j, t) in toks.iter().enumerate().skip(start) {
+        match t.as_str() {
+            "<" => angle += 1,
+            ">" => angle -= 1,
+            "for" if angle == 0 => {
+                for_at = Some(j);
+                break;
+            }
+            _ => {}
+        }
+    }
+    match for_at {
+        Some(f) => {
+            let trait_name = last_path_segment(&toks[start..f]);
+            let type_name = last_path_segment(&toks[f + 1..]);
+            (type_name.unwrap_or_default(), trait_name)
+        }
+        None => (last_path_segment(&toks[start..]).unwrap_or_default(), None),
+    }
+}
+
+/// The last word of the leading path in `toks` (angle-depth 0), skipping
+/// `&`, `dyn`, `mut` and lifetimes: `crate :: x :: Y < 'a >` → `Y`.
+fn last_path_segment(toks: &[String]) -> Option<String> {
+    let mut angle = 0i32;
+    let mut last: Option<&str> = None;
+    for t in toks {
+        match t.as_str() {
+            "<" => angle += 1,
+            ">" => angle -= 1,
+            "dyn" | "mut" => {}
+            w if angle == 0 && w.chars().next().is_some_and(|c| c.is_alphanumeric() || c == '_') => {
+                last = Some(w);
+            }
+            _ => {}
+        }
+    }
+    last.map(str::to_string)
+}
+
+/// Feeds one variant-level token into an open enum.
+fn enum_token(o: &mut Open, items: &mut [Item], t: &Flat<'_>) {
+    if o.in_attr {
+        match t.text {
+            "[" => o.attr_brackets += 1,
+            "]" => {
+                o.attr_brackets -= 1;
+                if o.attr_brackets <= 0 {
+                    o.in_attr = false;
+                }
+            }
+            _ => {}
+        }
+        return;
+    }
+    match t.text {
+        "#" => {
+            o.in_attr = true;
+            o.attr_brackets = 0;
+        }
+        "," => o.expect_variant = true,
+        _ if o.expect_variant && t.is_word => {
+            items[o.item].variants.push((t.text.to_string(), t.line));
+            o.expect_variant = false;
+        }
+        _ => {}
+    }
+}
+
+/// Feeds one arm-level token into an open match. Returns `true` when the
+/// token and its successor formed `=>` and the successor was consumed.
+fn match_token(o: &mut Open, items: &mut [Item], flat: &[Flat<'_>], i: usize) -> bool {
+    let t = &flat[i];
+    if o.collecting_pattern {
+        if t.text == "=" && flat.get(i + 1).map(|n| n.text) == Some(">") {
+            items[o.item].arms.push(Arm {
+                pattern: o.pattern.join(" "),
+                line: t.line,
+            });
+            o.collecting_pattern = false;
+            o.pattern.clear();
+            o.pattern_parens = 0;
+            return true;
+        }
+        match t.text {
+            "(" | "[" => o.pattern_parens += 1,
+            ")" | "]" => o.pattern_parens -= 1,
+            _ => {}
+        }
+        if t.text == "," && o.pattern_parens <= 0 {
+            // Top-level `,` never occurs inside an arm pattern: discard
+            // whatever trailer tokens accumulated and start fresh.
+            o.pattern.clear();
+            o.pattern_parens = 0;
+        } else {
+            o.pattern.push(t.text.to_string());
+        }
+    } else if t.text == "," {
+        o.collecting_pattern = true;
+        o.pattern.clear();
+        o.pattern_parens = 0;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_src(src: &str) -> Vec<Item> {
+        parse(&SourceFile::scan("crates/x/src/lib.rs", src))
+    }
+
+    fn find<'a>(items: &'a [Item], kind: ItemKind, name: &str) -> &'a Item {
+        items
+            .iter()
+            .find(|i| i.kind == kind && i.name == name)
+            .unwrap_or_else(|| panic!("no {kind:?} named {name}"))
+    }
+
+    #[test]
+    fn fn_struct_enum_spans_and_names() {
+        let src = "\
+pub struct Grid;
+
+pub enum Mode {
+    Fast,
+    Slow { retries: u32 },
+    Counted(u64),
+}
+
+fn run(g: &Grid) -> u64 {
+    let inner = || 1;
+    inner()
+}
+";
+        let items = parse_src(src);
+        let s = find(&items, ItemKind::Struct, "Grid");
+        assert_eq!((s.line, s.end_line), (1, 1));
+        let e = find(&items, ItemKind::Enum, "Mode");
+        assert_eq!((e.line, e.end_line), (3, 7));
+        let names: Vec<&str> = e.variants.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["Fast", "Slow", "Counted"]);
+        assert_eq!(e.variants[1].1, 5);
+        let f = find(&items, ItemKind::Fn, "run");
+        assert_eq!((f.line, f.end_line), (9, 12));
+        assert!(f.signature.contains("u64"), "{}", f.signature);
+    }
+
+    #[test]
+    fn enum_variants_skip_attributes_and_discriminants() {
+        let src = "\
+enum E {
+    #[cfg(feature = \"x\")]
+    A = 1,
+    B(u8),
+    #[doc = \"hi\"]
+    C { x: u8 },
+}
+";
+        let items = parse_src(src);
+        let e = find(&items, ItemKind::Enum, "E");
+        let names: Vec<&str> = e.variants.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["A", "B", "C"]);
+    }
+
+    #[test]
+    fn impl_trait_and_type_names() {
+        let src = "\
+impl Experiment for Fig4 {}
+impl CellCache {}
+impl<'a, T: Clone> std::fmt::Display for Wrapper<'a, T> {}
+impl Iterator for &mut Walker {}
+fn f() -> impl Iterator<Item = u8> { std::iter::empty() }
+";
+        let items = parse_src(src);
+        let imps: Vec<&Item> = items.iter().filter(|i| i.kind == ItemKind::Impl).collect();
+        assert_eq!(imps.len(), 4, "`-> impl` is not an impl head");
+        assert_eq!(imps[0].trait_name.as_deref(), Some("Experiment"));
+        assert_eq!(imps[0].name, "Fig4");
+        assert_eq!(imps[1].trait_name, None);
+        assert_eq!(imps[1].name, "CellCache");
+        assert_eq!(imps[2].trait_name.as_deref(), Some("Display"));
+        assert_eq!(imps[2].name, "Wrapper");
+        assert_eq!(imps[3].name, "Walker");
+    }
+
+    #[test]
+    fn match_arms_with_blocks_and_wildcards() {
+        let src = "\
+fn dispatch(v: Verb, n: u64) -> u64 {
+    match v {
+        Verb::Ping => 1,
+        Verb::Stats { verbose } => {
+            let x = n + 1;
+            x
+        }
+        (Verb::A, Verb::B) => 2,
+        _ if n > 0 => 3,
+        _ => 0,
+    }
+}
+";
+        let items = parse_src(src);
+        let m = items.iter().find(|i| i.kind == ItemKind::Match).unwrap();
+        let pats: Vec<&str> = m.arms.iter().map(|a| a.pattern.as_str()).collect();
+        assert_eq!(pats[0], "Verb : : Ping");
+        assert!(pats[1].starts_with("Verb : : Stats"));
+        assert!(pats[2].contains("Verb : : A"));
+        assert_eq!(pats[3], "_ if n > 0");
+        assert_eq!(pats[4], "_");
+        assert_eq!(m.arms[4].line, 10);
+        assert_eq!((m.line, m.end_line), (2, 11));
+    }
+
+    #[test]
+    fn arm_after_block_bodied_arm_with_trailers_is_still_seen() {
+        let src = "\
+fn f(v: u8) -> u8 {
+    match v {
+        0 => Ok::<u8, u8>(Wrap { x: 1 }.x).unwrap_or(9),
+        _ => 0,
+    }
+}
+";
+        let items = parse_src(src);
+        let m = items.iter().find(|i| i.kind == ItemKind::Match).unwrap();
+        assert!(
+            m.arms.iter().any(|a| a.pattern.trim() == "_"),
+            "wildcard arm after struct-literal body must be detected: {:?}",
+            m.arms.iter().map(|a| &a.pattern).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn nested_mods_give_paths_and_test_flags_carry() {
+        let src = "\
+mod outer {
+    mod inner {
+        fn deep() {}
+    }
+}
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+}
+";
+        let items = parse_src(src);
+        let f = find(&items, ItemKind::Fn, "deep");
+        assert_eq!(f.path, "outer::inner");
+        assert!(!f.in_test);
+        let h = find(&items, ItemKind::Fn, "helper");
+        assert!(h.in_test);
+    }
+
+    #[test]
+    fn bodyless_items_terminate_at_semicolon() {
+        let src = "\
+struct Unit;
+mod elsewhere;
+trait T {
+    fn required(&self) -> u64;
+    fn provided(&self) -> u64 {
+        1
+    }
+}
+fn after() {}
+";
+        let items = parse_src(src);
+        assert_eq!(find(&items, ItemKind::Struct, "Unit").end_line, 1);
+        let t = find(&items, ItemKind::Trait, "T");
+        assert_eq!((t.line, t.end_line), (3, 8));
+        assert_eq!(find(&items, ItemKind::Fn, "required").end_line, 4);
+        let p = find(&items, ItemKind::Fn, "provided");
+        assert_eq!((p.line, p.end_line), (5, 7));
+        assert!(items.iter().any(|i| i.name == "after"));
+    }
+
+    #[test]
+    fn nested_match_inside_arm_body() {
+        let src = "\
+fn f(a: u8, b: u8) -> u8 {
+    match a {
+        0 => match b {
+            1 => 10,
+            _ => 11,
+        },
+        _ => 12,
+    }
+}
+";
+        let items = parse_src(src);
+        let matches: Vec<&Item> = items.iter().filter(|i| i.kind == ItemKind::Match).collect();
+        assert_eq!(matches.len(), 2);
+        let outer = matches[0];
+        assert!(outer.arms.iter().any(|a| a.pattern.trim() == "_" && a.line == 7));
+    }
+}

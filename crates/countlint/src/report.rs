@@ -72,6 +72,48 @@ pub fn render_json(findings: &[Finding], files_scanned: usize, suppressed: usize
     out
 }
 
+/// Renders findings as GitHub Actions workflow commands, one `::error`
+/// annotation per finding (surfaced inline on the PR diff), followed by
+/// the same plain summary line the text reporter ends with.
+pub fn render_github(findings: &[Finding], files_scanned: usize, suppressed: usize) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str("::error file=");
+        gh_escape(&mut out, &f.file, true);
+        out.push_str(",line=");
+        out.push_str(&f.line.to_string());
+        out.push_str(",title=countlint(");
+        gh_escape(&mut out, &f.rule, true);
+        out.push_str(")::");
+        gh_escape(&mut out, &f.message, false);
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "countlint: {} finding{} in {} file{} scanned ({} suppressed by pragma)\n",
+        findings.len(),
+        if findings.len() == 1 { "" } else { "s" },
+        files_scanned,
+        if files_scanned == 1 { "" } else { "s" },
+        suppressed,
+    ));
+    out
+}
+
+/// GitHub workflow-command escaping: `%`, CR and LF always; `,` and `:`
+/// additionally inside property values.
+fn gh_escape(out: &mut String, s: &str, property: bool) {
+    for c in s.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            '\r' => out.push_str("%0D"),
+            '\n' => out.push_str("%0A"),
+            ',' if property => out.push_str("%2C"),
+            ':' if property => out.push_str("%3A"),
+            c => out.push(c),
+        }
+    }
+}
+
 /// Appends `s` as a JSON string literal (RFC 8259 escaping).
 fn json_string(out: &mut String, s: &str) {
     out.push('"');
@@ -146,6 +188,32 @@ mod tests {
              {\"file\":\"b.rs\",\"line\":2,\"rule\":\"wall-clock-in-core\",\
              \"message\":\"second\"}]}\n"
         );
+    }
+
+    #[test]
+    fn github_report_format() {
+        let mut f = sample();
+        sort(&mut f);
+        let gh = render_github(&f, 3, 1);
+        assert_eq!(
+            gh,
+            "::error file=a.rs,line=9,title=countlint(nondeterministic-iteration)::first\n\
+             ::error file=b.rs,line=2,title=countlint(wall-clock-in-core)::second\n\
+             countlint: 2 findings in 3 files scanned (1 suppressed by pragma)\n"
+        );
+    }
+
+    #[test]
+    fn github_report_escapes_workflow_command_metachars() {
+        let f = vec![Finding {
+            file: "a,b:c.rs".into(),
+            line: 1,
+            rule: "r".into(),
+            message: "50% bad\nsecond line".into(),
+        }];
+        let gh = render_github(&f, 1, 0);
+        assert!(gh.starts_with("::error file=a%2Cb%3Ac.rs,line=1,"));
+        assert!(gh.contains("::50%25 bad%0Asecond line\n"));
     }
 
     #[test]

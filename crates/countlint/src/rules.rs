@@ -2,18 +2,25 @@
 //!
 //! Mirrors the `counterlab::experiment` registry idiom: every rule is a
 //! zero-sized struct implementing [`Rule`], and [`registry`] returns the
-//! fixed, ordered catalog. Rules work on scrubbed token streams (see
-//! [`crate::scan`]), never on raw text, so comments and string literals
-//! can never produce findings.
+//! fixed, ordered catalog. Since v2, rules check a whole [`Workspace`]
+//! (the symbol graph from [`crate::symbols`]) rather than one file at a
+//! time, so cross-file invariants — registry membership, enum/wire
+//! parity, lock discipline — are first-class. Rules still work on
+//! scrubbed token streams (see [`crate::scan`]), never on raw text, so
+//! comments and string literals can never produce findings.
 
 use crate::report::Finding;
 use crate::scan::{Line, SourceFile};
+use crate::symbols::{line_has_seq, Workspace, WsFile};
+use std::collections::BTreeSet;
+
+pub use crate::scan::{tokens, Tok};
 
 /// One enforceable invariant.
 ///
-/// Implementations are stateless; `check` receives a scanned file and
-/// returns raw findings (suppression is applied by the driver, so a rule
-/// never needs to know about pragmas).
+/// Implementations are stateless; `check` receives the workspace symbol
+/// graph and returns raw findings (suppression is applied by the driver,
+/// so a rule never needs to know about pragmas).
 pub trait Rule: Sync {
     /// Stable kebab-case id — the name pragmas and reports use.
     fn id(&self) -> &'static str;
@@ -21,10 +28,13 @@ pub trait Rule: Sync {
     fn summary(&self) -> &'static str;
     /// Why the rule exists, in terms of the laboratory's invariants.
     fn rationale(&self) -> &'static str;
-    /// Whether the rule inspects the file at this repo-relative path.
-    fn applies_to(&self, path: &str) -> bool;
-    /// Scans the file and returns every violation.
-    fn check(&self, file: &SourceFile) -> Vec<Finding>;
+    /// Whether findings of this rule may be silenced by a pragma.
+    /// Meta-rules about the suppression machinery itself say no.
+    fn suppressible(&self) -> bool {
+        true
+    }
+    /// Scans the workspace and returns every violation.
+    fn check(&self, ws: &Workspace) -> Vec<Finding>;
 }
 
 /// The fixed rule catalog, in reporting order.
@@ -35,6 +45,10 @@ pub fn registry() -> &'static [&'static dyn Rule] {
         &PanicInServingPath,
         &UndocumentedRelaxedAtomic,
         &LossyCastInWire,
+        &UnregisteredExperiment,
+        &EnumWireDrift,
+        &NestedLockInServe,
+        &UnusedPragma,
         &PragmaHygiene,
     ]
 }
@@ -45,48 +59,8 @@ pub fn find(id: &str) -> Option<&'static dyn Rule> {
 }
 
 // ---------------------------------------------------------------------------
-// Tokenization helpers
+// Token helpers
 // ---------------------------------------------------------------------------
-
-/// One lexical token of a scrubbed code line.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Tok<'a> {
-    /// The token text (an identifier/number word, or one punct char).
-    pub text: &'a str,
-    /// Whether the token is a word (identifier, keyword or number).
-    pub is_word: bool,
-}
-
-/// Splits one scrubbed code line into word and punctuation tokens.
-pub fn tokens(code: &str) -> Vec<Tok<'_>> {
-    let mut out = Vec::new();
-    let bytes = code.as_bytes();
-    let mut i = 0;
-    while i < bytes.len() {
-        let c = bytes[i] as char;
-        if c.is_ascii_whitespace() {
-            i += 1;
-        } else if c.is_ascii_alphanumeric() || c == '_' {
-            let start = i;
-            while i < bytes.len()
-                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
-            {
-                i += 1;
-            }
-            out.push(Tok {
-                text: &code[start..i],
-                is_word: true,
-            });
-        } else {
-            out.push(Tok {
-                text: &code[i..i + 1],
-                is_word: false,
-            });
-            i += 1;
-        }
-    }
-    out
-}
 
 /// Keywords that can legitimately precede `[` without the bracket being
 /// an indexing expression (slice patterns, array types after `=`, …).
@@ -123,32 +97,43 @@ fn is_macro_bang(toks: &[Tok<'_>], i: usize, name: &str) -> bool {
     toks[i].text == name && toks.get(i + 1).is_some_and(|t| t.text == "!")
 }
 
-/// Runs `per_line` over every non-test code line the rule applies to.
-fn scan_lines(
-    file: &SourceFile,
-    rule: &'static str,
-    mut per_line: impl FnMut(&Line, &[Tok<'_>], &mut Vec<Finding>),
+/// Runs `per_line` over every non-test code line of every file whose
+/// path satisfies `applies`.
+fn scan_ws(
+    ws: &Workspace,
+    applies: impl Fn(&str) -> bool,
+    mut per_line: impl FnMut(&SourceFile, &Line, &[Tok<'_>], &mut Vec<Finding>),
 ) -> Vec<Finding> {
     let mut findings = Vec::new();
-    for line in &file.lines {
-        if line.in_test || !line.has_code() {
+    for wf in ws.files() {
+        if !applies(&wf.source.path) {
             continue;
         }
-        let toks = tokens(&line.code);
-        per_line(line, &toks, &mut findings);
+        for line in &wf.source.lines {
+            if line.in_test || !line.has_code() {
+                continue;
+            }
+            let toks = tokens(&line.code);
+            per_line(&wf.source, line, &toks, &mut findings);
+        }
     }
-    let _ = rule;
     findings
 }
 
-fn finding(file: &SourceFile, rule: &'static str, line: usize, message: String) -> Finding {
+fn finding(path: &str, rule: &'static str, line: usize, message: String) -> Finding {
     Finding {
-        file: file.path.clone(),
+        file: path.to_string(),
         line,
         rule: rule.to_string(),
         message,
     }
 }
+
+// Serving-path geography, shared by several rules.
+const SERVE_FILE: &str = "crates/core/src/serve.rs";
+const WIRE_FILE: &str = "crates/core/src/wire.rs";
+const BENCHMARK_FILE: &str = "crates/core/src/benchmark.rs";
+const REGISTRY_FILE: &str = "crates/core/src/experiment.rs";
 
 // ---------------------------------------------------------------------------
 // nondeterministic-iteration
@@ -172,15 +157,12 @@ impl Rule for NondeterministicIteration {
          clients. Use BTreeMap/BTreeSet or key-sorted access; pragma-justify containers that \
          are provably never iterated for output."
     }
-    fn applies_to(&self, _path: &str) -> bool {
-        true
-    }
-    fn check(&self, file: &SourceFile) -> Vec<Finding> {
-        scan_lines(file, self.id(), |line, toks, out| {
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        scan_ws(ws, |_| true, |file, line, toks, out| {
             for t in toks {
                 if t.is_word && (t.text == "HashMap" || t.text == "HashSet") {
                     out.push(finding(
-                        file,
+                        &file.path,
                         self.id(),
                         line.number,
                         format!(
@@ -216,15 +198,14 @@ impl Rule for WallClockInCore {
          breaks bit-exact replay and cache correctness. Timing belongs in counterlab-bench \
          (the harness that measures the laboratory itself) and in the criterion shim."
     }
-    fn applies_to(&self, path: &str) -> bool {
-        !path.starts_with("crates/bench/") && !path.starts_with("shims/")
-    }
-    fn check(&self, file: &SourceFile) -> Vec<Finding> {
-        scan_lines(file, self.id(), |line, toks, out| {
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        let applies =
+            |path: &str| !path.starts_with("crates/bench/") && !path.starts_with("shims/");
+        scan_ws(ws, applies, |file, line, toks, out| {
             for t in toks {
                 if t.is_word && (t.text == "Instant" || t.text == "SystemTime") {
                     out.push(finding(
-                        file,
+                        &file.path,
                         self.id(),
                         line.number,
                         format!(
@@ -247,8 +228,8 @@ impl Rule for WallClockInCore {
 /// worker threads while a client waits. A panic here kills in-flight
 /// requests.
 const SERVING_PATH_FILES: &[&str] = &[
-    "crates/core/src/serve.rs",
-    "crates/core/src/wire.rs",
+    SERVE_FILE,
+    WIRE_FILE,
     "crates/core/src/exec.rs",
     "crates/core/src/grid.rs",
     "crates/core/src/measure.rs",
@@ -271,18 +252,18 @@ impl Rule for PanicInServingPath {
          patterns instead of indexing, and pragma-justify the few sites where aborting is \
          provably the correct response (e.g. propagating a worker panic at join)."
     }
-    fn applies_to(&self, path: &str) -> bool {
-        SERVING_PATH_FILES.contains(&path)
-    }
-    fn check(&self, file: &SourceFile) -> Vec<Finding> {
-        scan_lines(file, self.id(), |line, toks, out| {
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        let applies = |path: &str| SERVING_PATH_FILES.contains(&path);
+        scan_ws(ws, applies, |file, line, toks, out| {
             let mut push = |what: &str| {
                 out.push(finding(
-                    file,
+                    &file.path,
                     self.id(),
                     line.number,
-                    format!("{what} can panic in the serving path; return a typed error or \
-                             justify with a pragma"),
+                    format!(
+                        "{what} can panic in the serving path; return a typed error or \
+                         justify with a pragma"
+                    ),
                 ));
             };
             for (i, t) in toks.iter().enumerate() {
@@ -326,15 +307,12 @@ impl Rule for UndocumentedRelaxedAtomic {
          required (the pragma is the documentation; there is no way to satisfy the rule \
          silently)."
     }
-    fn applies_to(&self, _path: &str) -> bool {
-        true
-    }
-    fn check(&self, file: &SourceFile) -> Vec<Finding> {
-        scan_lines(file, self.id(), |line, toks, out| {
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        scan_ws(ws, |_| true, |file, line, toks, out| {
             for t in toks {
                 if t.is_word && t.text == "Relaxed" {
                     out.push(finding(
-                        file,
+                        &file.path,
                         self.id(),
                         line.number,
                         "Ordering::Relaxed requires a pragma documenting why relaxed \
@@ -373,11 +351,9 @@ impl Rule for LossyCastInWire {
          wrong count can misframe every byte that follows. Codecs must use checked \
          try_from conversions that reject with a typed WireError."
     }
-    fn applies_to(&self, path: &str) -> bool {
-        path == "crates/core/src/wire.rs" || path == "crates/core/src/serve.rs"
-    }
-    fn check(&self, file: &SourceFile) -> Vec<Finding> {
-        scan_lines(file, self.id(), |line, toks, out| {
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        let applies = |path: &str| path == WIRE_FILE || path == SERVE_FILE;
+        scan_ws(ws, applies, |file, line, toks, out| {
             for (i, t) in toks.iter().enumerate() {
                 if t.is_word
                     && t.text == "as"
@@ -386,7 +362,7 @@ impl Rule for LossyCastInWire {
                         .is_some_and(|n| n.is_word && NUMERIC_TYPES.contains(&n.text))
                 {
                     out.push(finding(
-                        file,
+                        &file.path,
                         self.id(),
                         line.number,
                         format!(
@@ -398,6 +374,449 @@ impl Rule for LossyCastInWire {
                 }
             }
         })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// unregistered-experiment
+// ---------------------------------------------------------------------------
+
+/// Every `impl Experiment for T` must appear in `experiments::registry()`.
+pub struct UnregisteredExperiment;
+
+impl Rule for UnregisteredExperiment {
+    fn id(&self) -> &'static str {
+        "unregistered-experiment"
+    }
+    fn summary(&self) -> &'static str {
+        "impl Experiment for a type that experiments::registry() does not list"
+    }
+    fn rationale(&self) -> &'static str {
+        "The registry is the only dispatch surface: the CLI, countd's EXPERIMENT verb and \
+         the ablation map all walk experiments::registry(). An Experiment impl missing from \
+         it compiles cleanly, passes its unit tests, and is silently unreachable from every \
+         entry point — the exact registry/zoo drift PR 8 multiplied the surface for. The \
+         symbol graph sees both sides, so the gap is now a lint, not an integration-test \
+         surprise."
+    }
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        let Some(rf) = ws.file(REGISTRY_FILE) else {
+            // Single-file lints (fixtures) without the registry in view
+            // have nothing to check against.
+            return Vec::new();
+        };
+        let Some(reg) = rf.fn_named("registry") else {
+            return Vec::new();
+        };
+        // Type names mentioned in the registry body: uppercase-initial
+        // words preceded by `::` (path entries) or `&` (direct refs).
+        let mut registered: BTreeSet<String> = BTreeSet::new();
+        for line in &rf.source.lines {
+            if line.in_test || line.number < reg.line || line.number > reg.end_line {
+                continue;
+            }
+            let toks = tokens(&line.code);
+            for (i, t) in toks.iter().enumerate() {
+                let uppercase_word =
+                    t.is_word && t.text.chars().next().is_some_and(|c| c.is_ascii_uppercase());
+                let path_entry = i > 0 && matches!(toks[i - 1].text, ":" | "&");
+                if uppercase_word && path_entry {
+                    registered.insert(t.text.to_string());
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for (wf, imp) in ws.impls_of("Experiment") {
+            if !registered.contains(&imp.name) {
+                out.push(finding(
+                    &wf.source.path,
+                    self.id(),
+                    imp.line,
+                    format!(
+                        "impl Experiment for {} is not listed in experiments::registry(); \
+                         it is unreachable from the CLI, countd and the ablation map",
+                        imp.name
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// enum-wire-drift
+// ---------------------------------------------------------------------------
+
+/// Keeps hand-maintained enum surfaces (wire parse arms, oracle-table
+/// rows, `ALL` rosters) in lockstep with their enum definitions, and
+/// flags wildcard `_` arms that would swallow future variants in the
+/// wire/serve dispatch code.
+pub struct EnumWireDrift;
+
+impl EnumWireDrift {
+    /// Whether `wf` documents `name` as an oracle-table row: a doc-comment
+    /// line shaped `| \`name\` | …`.
+    fn has_oracle_row(wf: &WsFile, name: &str) -> bool {
+        let want = format!("`{name}`");
+        wf.source.lines.iter().any(|l| {
+            let c = l
+                .comment
+                .trim_start()
+                .trim_start_matches(['!', '/', '*'])
+                .trim_start();
+            c.starts_with('|') && c.contains(&want)
+        })
+    }
+
+    /// The `[start, end]` line span of `const ALL: [Name; N] = [ … ];` in
+    /// `wf`, if the file declares a roster for the enum.
+    fn roster_span(wf: &WsFile, name: &str) -> Option<(usize, usize)> {
+        let start = wf.find_token_seq(&["ALL", ":", "[", name])?;
+        let end = wf
+            .source
+            .lines
+            .iter()
+            .filter(|l| l.number > start)
+            .find(|l| line_has_seq(&l.code, &["]", ";"]))
+            .map(|l| l.number)
+            .unwrap_or(start);
+        Some((start, end))
+    }
+}
+
+impl Rule for EnumWireDrift {
+    fn id(&self) -> &'static str {
+        "enum-wire-drift"
+    }
+    fn summary(&self) -> &'static str {
+        "enum variant missing from wire.rs, the oracle table or an ALL roster; or a \
+         wildcard arm hiding such drift"
+    }
+    fn rationale(&self) -> &'static str {
+        "Adding a Benchmark variant takes edits in three places that the compiler cannot \
+         connect: the enum, the wire parse arm, and the oracle-table doc. Rosters \
+         (`const ALL`) are the same trap one file earlier. A missed edit ships a workload \
+         that exists but cannot be requested, or a roster walk that silently skips it — the \
+         per-event drift the paper measures, recreated in our own registries. Wildcard `_` \
+         arms in wire/serve make the drift permanent by turning 'non-exhaustive match' from \
+         a compile error into silent acceptance, so they are flagged too."
+    }
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        let mut out = Vec::new();
+
+        // (a)+(b): every Benchmark variant needs a wire parse arm and an
+        // oracle-table row.
+        if let (Some(bf), Some(wiref)) = (ws.file(BENCHMARK_FILE), ws.file(WIRE_FILE)) {
+            if let Some(be) = bf.enum_named("Benchmark") {
+                for (variant, line) in &be.variants {
+                    if wiref
+                        .find_token_seq(&["Benchmark", ":", ":", variant])
+                        .is_none()
+                    {
+                        out.push(finding(
+                            &bf.source.path,
+                            self.id(),
+                            *line,
+                            format!(
+                                "Benchmark::{variant} has no parse arm in wire.rs; the \
+                                 workload cannot be requested over COUNTD/1"
+                            ),
+                        ));
+                    }
+                    let row = variant.to_lowercase();
+                    if !Self::has_oracle_row(bf, &row) {
+                        out.push(finding(
+                            &bf.source.path,
+                            self.id(),
+                            *line,
+                            format!(
+                                "Benchmark::{variant} has no `{row}` row in the \
+                                 oracle-table module doc"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // (c): every enum that declares a `const ALL` roster must list
+        // every variant in it.
+        for (wf, e) in ws.enums() {
+            let Some((start, end)) = Self::roster_span(wf, &e.name) else {
+                continue;
+            };
+            for (variant, line) in &e.variants {
+                let in_roster = wf
+                    .find_token_seq_in(&[&e.name, ":", ":", variant], start, end)
+                    .or_else(|| {
+                        wf.find_token_seq_in(&["Self", ":", ":", variant], start, end)
+                    })
+                    .is_some();
+                if !in_roster {
+                    out.push(finding(
+                        &wf.source.path,
+                        self.id(),
+                        *line,
+                        format!(
+                            "{0}::{1} is missing from {0}::ALL; roster walks will \
+                             silently skip it",
+                            e.name, variant
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // (d): wildcard arms alongside workspace-enum patterns in the
+        // wire/serve dispatch code.
+        let enum_names = ws.enum_names();
+        for path in [WIRE_FILE, SERVE_FILE] {
+            let Some(wf) = ws.file(path) else { continue };
+            for m in wf.matches() {
+                let over_enum = m.arms.iter().any(|a| {
+                    let toks: Vec<&str> = a.pattern.split_whitespace().collect();
+                    toks.windows(3).any(|w| {
+                        enum_names.contains(w[0]) && w[1] == ":" && w[2] == ":"
+                    })
+                });
+                if !over_enum {
+                    continue;
+                }
+                for arm in m.arms.iter().filter(|a| a.pattern.trim() == "_") {
+                    out.push(finding(
+                        &wf.source.path,
+                        self.id(),
+                        arm.line,
+                        "wildcard `_` arm in a match over a workspace enum: a future \
+                         variant would be silently swallowed here instead of failing to \
+                         compile; handle variants explicitly"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// nested-lock-in-serve
+// ---------------------------------------------------------------------------
+
+/// Intraprocedural MutexGuard-liveness tracking in serve.rs.
+pub struct NestedLockInServe;
+
+impl NestedLockInServe {
+    /// Counts lock acquisitions on one line: direct `.lock(` calls plus
+    /// calls into file-local lock-taking helpers. Tokens after a closure
+    /// opener (`|`) are deferred work, not an acquisition on this line —
+    /// `thread::spawn(move || accept_loop(…))` locks on the new thread.
+    fn acquisitions(toks: &[Tok<'_>], lockers: &BTreeSet<&str>) -> usize {
+        let deferred_from = toks
+            .iter()
+            .position(|t| t.text == "|")
+            .unwrap_or(toks.len());
+        let locker_call = |i: usize, t: &Tok<'_>| {
+            t.is_word
+                && lockers.contains(t.text)
+                && toks.get(i + 1).is_some_and(|nx| nx.text == "(")
+                && i.checked_sub(1).map(|j| toks[j].text) != Some("fn")
+        };
+        toks.iter()
+            .enumerate()
+            .take(deferred_from)
+            .filter(|&(i, t)| is_method_call(toks, i, "lock") || locker_call(i, t))
+            .count()
+    }
+
+    /// The variable bound on this line if it binds a guard: `let [mut] v =`
+    /// with a guard-producing call (`.lock(` or a MutexGuard-returning
+    /// helper) on the right-hand side.
+    fn guard_binding(toks: &[Tok<'_>], guard_fns: &BTreeSet<&str>) -> Option<String> {
+        if toks.first()?.text != "let" {
+            return None;
+        }
+        let mut i = 1;
+        if toks.get(i)?.text == "mut" {
+            i += 1;
+        }
+        let var = toks.get(i)?;
+        if !var.is_word || toks.get(i + 1)?.text != "=" {
+            return None;
+        }
+        let rhs = &toks[i + 2..];
+        let produces_guard = rhs.iter().enumerate().any(|(j, t)| {
+            is_method_call(rhs, j, "lock")
+                || (t.is_word
+                    && guard_fns.contains(t.text)
+                    && rhs.get(j + 1).is_some_and(|nx| nx.text == "("))
+        });
+        produces_guard.then(|| var.text.to_string())
+    }
+}
+
+impl Rule for NestedLockInServe {
+    fn id(&self) -> &'static str {
+        "nested-lock-in-serve"
+    }
+    fn summary(&self) -> &'static str {
+        "lock acquisition in serve.rs while a MutexGuard is already live"
+    }
+    fn rationale(&self) -> &'static str {
+        "CellCache wraps one Mutex and a pile of helpers that take it; a helper called \
+         while the caller already holds the guard deadlocks every worker thread behind a \
+         lock that will never be released — the whole daemon stops serving, with no panic \
+         and no backtrace. The symbol graph knows which helpers take the lock (directly or \
+         transitively) and which return guards, so holding a guard across such a call is a \
+         lint, not a production incident. Scope guards tightly (inner block or drop()) \
+         before calling back into the cache."
+    }
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        let Some(wf) = ws.file(SERVE_FILE) else {
+            return Vec::new();
+        };
+        let fns: Vec<_> = wf.fns().collect();
+
+        // Lock-taking fn names: direct `.lock(` in the body, then the
+        // transitive closure over file-local calls.
+        let mut lockers: BTreeSet<&str> = fns
+            .iter()
+            .filter(|f| {
+                wf.find_token_seq_in(&[".", "lock", "("], f.line, f.end_line)
+                    .is_some()
+            })
+            .map(|f| f.name.as_str())
+            .collect();
+        loop {
+            let mut grew = false;
+            for f in &fns {
+                if lockers.contains(f.name.as_str()) {
+                    continue;
+                }
+                let calls_locker = wf
+                    .source
+                    .lines
+                    .iter()
+                    .filter(|l| {
+                        !l.in_test && l.number >= f.line && l.number <= f.end_line
+                    })
+                    .any(|l| Self::acquisitions(&tokens(&l.code), &lockers) > 0);
+                if calls_locker {
+                    lockers.insert(f.name.as_str());
+                    grew = true;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+
+        let guard_fns: BTreeSet<&str> = fns
+            .iter()
+            .filter(|f| f.signature.contains("MutexGuard"))
+            .map(|f| f.name.as_str())
+            .collect();
+
+        let mut out = Vec::new();
+        for f in &fns {
+            // (variable name, brace depth the guard's scope opened at).
+            let mut guards: Vec<(String, i64)> = Vec::new();
+            let mut depth: i64 = 0;
+            for line in wf
+                .source
+                .lines
+                .iter()
+                .filter(|l| l.number >= f.line && l.number <= f.end_line)
+            {
+                if line.in_test {
+                    continue;
+                }
+                let toks = tokens(&line.code);
+                let acqs = Self::acquisitions(&toks, &lockers);
+                if !guards.is_empty() && acqs > 0 {
+                    let (held, at) = &guards[guards.len() - 1];
+                    out.push(finding(
+                        &wf.source.path,
+                        self.id(),
+                        line.number,
+                        format!(
+                            "lock acquired while guard `{held}` (bound at depth {at}) is \
+                             still live; this deadlocks the serving path — drop or \
+                             re-scope the guard first"
+                        ),
+                    ));
+                } else if acqs >= 2 {
+                    out.push(finding(
+                        &wf.source.path,
+                        self.id(),
+                        line.number,
+                        "two lock acquisitions in one statement; the second waits on \
+                         the first's guard"
+                            .to_string(),
+                    ));
+                }
+                // drop(var) releases a tracked guard early.
+                guards.retain(|(var, _)| {
+                    !line_has_seq(&line.code, &["drop", "(", var, ")"])
+                });
+                let binding = Self::guard_binding(&toks, &guard_fns);
+                for c in line.code.chars() {
+                    match c {
+                        '{' => depth += 1,
+                        '}' => {
+                            depth -= 1;
+                            guards.retain(|(_, at)| *at <= depth);
+                        }
+                        _ => {}
+                    }
+                }
+                if let Some(var) = binding {
+                    guards.push((var, depth));
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// unused-pragma
+// ---------------------------------------------------------------------------
+
+/// An `allow` pragma that suppresses zero findings is itself a finding.
+///
+/// The findings are computed by the driver (it alone knows, after
+/// suppression, which pragmas earned their keep); this registry entry
+/// carries the id, catalog text and the unsuppressible marker.
+pub struct UnusedPragma;
+
+impl UnusedPragma {
+    /// The id, exposed so the driver can emit findings under it.
+    pub const ID: &'static str = "unused-pragma";
+}
+
+impl Rule for UnusedPragma {
+    fn id(&self) -> &'static str {
+        Self::ID
+    }
+    fn summary(&self) -> &'static str {
+        "countlint pragma whose allow() suppresses zero findings"
+    }
+    fn rationale(&self) -> &'static str {
+        "A pragma is a standing claim that a violation exists and is justified. When the \
+         code under it changes, the claim can go stale: the waiver then silently covers \
+         the *next* violation someone introduces on that line, with a justification \
+         written for different code. Stale pragmas are findings so the waiver set stays \
+         exactly as large as the violation set. Findings of this rule cannot be \
+         suppressed (a pragma cannot vouch for a pragma)."
+    }
+    fn suppressible(&self) -> bool {
+        false
+    }
+    fn check(&self, _ws: &Workspace) -> Vec<Finding> {
+        Vec::new()
     }
 }
 
@@ -429,27 +848,30 @@ impl Rule for PragmaHygiene {
          when the justification was never recorded). Malformed pragmas are violations \
          themselves and cannot be suppressed."
     }
-    fn applies_to(&self, _path: &str) -> bool {
-        true
+    fn suppressible(&self) -> bool {
+        false
     }
-    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
         let mut out = Vec::new();
-        for bad in &file.bad_pragmas {
-            out.push(finding(
-                file,
-                Self::ID,
-                bad.line,
-                format!("malformed countlint pragma: {}", bad.problem),
-            ));
-        }
-        for pragma in &file.pragmas {
-            if find(&pragma.rule).is_none() {
+        for wf in ws.files() {
+            let file = &wf.source;
+            for bad in &file.bad_pragmas {
                 out.push(finding(
-                    file,
+                    &file.path,
                     Self::ID,
-                    pragma.line,
-                    format!("pragma names unknown rule `{}`", pragma.rule),
+                    bad.line,
+                    format!("malformed countlint pragma: {}", bad.problem),
                 ));
+            }
+            for pragma in &file.pragmas {
+                if find(&pragma.rule).is_none() {
+                    out.push(finding(
+                        &file.path,
+                        Self::ID,
+                        pragma.line,
+                        format!("pragma names unknown rule `{}`", pragma.rule),
+                    ));
+                }
             }
         }
         out
@@ -459,6 +881,19 @@ impl Rule for PragmaHygiene {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn ws(files: &[(&str, &str)]) -> Workspace {
+        Workspace::new(
+            files
+                .iter()
+                .map(|(p, s)| SourceFile::scan(p, s))
+                .collect(),
+        )
+    }
+
+    fn check_one(rule: &dyn Rule, path: &str, src: &str) -> Vec<Finding> {
+        rule.check(&ws(&[(path, src)]))
+    }
 
     #[test]
     fn registry_ids_are_unique_and_kebab_case() {
@@ -476,17 +911,16 @@ mod tests {
             assert!(!rule.rationale().is_empty());
         }
         assert!(find("nondeterministic-iteration").is_some());
+        assert!(find("unused-pragma").is_some());
+        assert!(find("nested-lock-in-serve").is_some());
         assert!(find("no-such-rule").is_none());
     }
 
     #[test]
-    fn tokenizer_splits_words_and_punct() {
-        let toks = tokens("a.b[0] += vec![1];");
-        let texts: Vec<&str> = toks.iter().map(|t| t.text).collect();
-        assert_eq!(
-            texts,
-            ["a", ".", "b", "[", "0", "]", "+", "=", "vec", "!", "[", "1", "]", ";"]
-        );
+    fn meta_rules_are_unsuppressible() {
+        assert!(!PragmaHygiene.suppressible());
+        assert!(!UnusedPragma.suppressible());
+        assert!(NondeterministicIteration.suppressible());
     }
 
     #[test]
@@ -514,12 +948,8 @@ mod tests {
         }
     }
 
-    fn check_one(rule: &dyn Rule, path: &str, src: &str) -> Vec<Finding> {
-        rule.check(&SourceFile::scan(path, src))
-    }
-
     #[test]
-    fn each_rule_fires_on_its_target() {
+    fn each_lexical_rule_fires_on_its_target() {
         let p = "crates/core/src/serve.rs";
         assert_eq!(
             check_one(&NondeterministicIteration, p, "use std::collections::HashMap;\n").len(),
@@ -562,7 +992,7 @@ mod tests {
         let p = "crates/core/src/serve.rs";
         for rule in registry() {
             assert!(
-                rule.check(&SourceFile::scan(p, src)).is_empty(),
+                check_one(*rule, p, src).is_empty(),
                 "{} fired",
                 rule.id()
             );
@@ -571,14 +1001,16 @@ mod tests {
 
     #[test]
     fn scoping_is_per_rule() {
-        assert!(WallClockInCore.applies_to("crates/core/src/grid.rs"));
-        assert!(!WallClockInCore.applies_to("crates/bench/src/bin/repro/bench.rs"));
-        assert!(!WallClockInCore.applies_to("shims/criterion/src/lib.rs"));
-        assert!(PanicInServingPath.applies_to("crates/core/src/wire.rs"));
-        assert!(!PanicInServingPath.applies_to("crates/core/src/report.rs"));
-        assert!(LossyCastInWire.applies_to("crates/core/src/wire.rs"));
-        assert!(!LossyCastInWire.applies_to("crates/core/src/grid.rs"));
-        assert!(UndocumentedRelaxedAtomic.applies_to("crates/bench/src/bin/repro/bench.rs"));
+        let clock = "let t = Instant::now();\n";
+        assert_eq!(check_one(&WallClockInCore, "crates/core/src/grid.rs", clock).len(), 1);
+        assert!(check_one(&WallClockInCore, "crates/bench/src/bin/repro/bench.rs", clock).is_empty());
+        assert!(check_one(&WallClockInCore, "shims/criterion/src/lib.rs", clock).is_empty());
+        let idx = "let v = a[0];\n";
+        assert_eq!(check_one(&PanicInServingPath, "crates/core/src/wire.rs", idx).len(), 1);
+        assert!(check_one(&PanicInServingPath, "crates/core/src/report.rs", idx).is_empty());
+        let cast = "let n = big as u32;\n";
+        assert_eq!(check_one(&LossyCastInWire, "crates/core/src/wire.rs", cast).len(), 1);
+        assert!(check_one(&LossyCastInWire, "crates/core/src/grid.rs", cast).is_empty());
     }
 
     #[test]
@@ -598,5 +1030,153 @@ let x = 1;
         assert_eq!(findings.len(), 2);
         assert!(findings.iter().any(|f| f.message.contains("unknown rule")));
         assert!(findings.iter().any(|f| f.message.contains("missing")));
+    }
+
+    #[test]
+    fn unregistered_experiment_sees_across_files() {
+        let registry_src = "\
+pub trait Experiment {}
+pub fn registry() -> &'static [&'static dyn Experiment] {
+    static R: &[&dyn Experiment] = &[&crate::experiments::alpha::Alpha];
+    R
+}
+";
+        let good = "pub struct Alpha;\nimpl Experiment for Alpha {}\n";
+        let rogue = "pub struct Rogue;\nimpl Experiment for Rogue {}\n";
+        let w = ws(&[
+            ("crates/core/src/experiment.rs", registry_src),
+            ("crates/core/src/experiments/alpha.rs", good),
+            ("crates/core/src/experiments/rogue.rs", rogue),
+        ]);
+        let findings = UnregisteredExperiment.check(&w);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].file, "crates/core/src/experiments/rogue.rs");
+        assert_eq!(findings[0].line, 2);
+        assert!(findings[0].message.contains("Rogue"));
+    }
+
+    #[test]
+    fn enum_wire_drift_catches_missing_parse_arm_and_oracle_row() {
+        let bench_src = "\
+//! | `null` | zero |
+//! | `loop` | n |
+pub enum Benchmark {
+    Null,
+    Loop,
+    Phantom,
+}
+";
+        let wire_src = "\
+pub fn parse(name: &str) -> Option<Benchmark> {
+    match name {
+        \"null\" => Some(Benchmark::Null),
+        \"loop\" => Some(Benchmark::Loop),
+        _ => None,
+    }
+}
+";
+        let w = ws(&[
+            ("crates/core/src/benchmark.rs", bench_src),
+            ("crates/core/src/wire.rs", wire_src),
+        ]);
+        let findings = EnumWireDrift.check(&w);
+        // Phantom: no parse arm + no oracle row. The `_ => None` arm sits
+        // in a match whose patterns are scrubbed string literals, so no
+        // wildcard finding fires there.
+        let phantom: Vec<_> = findings.iter().filter(|f| f.line == 6).collect();
+        assert_eq!(phantom.len(), 2, "{findings:?}");
+        assert!(phantom.iter().any(|f| f.message.contains("parse arm")));
+        assert!(phantom.iter().any(|f| f.message.contains("oracle-table")));
+        assert_eq!(findings.len(), 2, "{findings:?}");
+    }
+
+    #[test]
+    fn enum_wire_drift_catches_roster_gaps() {
+        let src = "\
+pub enum Mode { A, B, C }
+impl Mode {
+    pub const ALL: [Mode; 2] = [Mode::A, Mode::B];
+}
+";
+        let findings = check_one(&EnumWireDrift, "crates/core/src/interface.rs", src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 1);
+        assert!(findings[0].message.contains("Mode::C"));
+    }
+
+    #[test]
+    fn enum_wire_drift_accepts_complete_rosters_and_self_paths() {
+        let src = "\
+pub enum Mode { A, B }
+impl Mode {
+    pub const ALL: [Mode; 2] = [Self::A, Self::B];
+}
+";
+        assert!(check_one(&EnumWireDrift, "crates/core/src/interface.rs", src).is_empty());
+    }
+
+    #[test]
+    fn enum_wire_drift_flags_wildcard_arms_over_workspace_enums() {
+        let src = "\
+pub enum Verb { Ping, Stats }
+pub fn dispatch(v: &Verb) -> u8 {
+    match v {
+        Verb::Ping => 1,
+        _ => 0,
+    }
+}
+pub fn other(n: u8) -> u8 {
+    match n {
+        0 => 1,
+        _ => 0,
+    }
+}
+";
+        let findings = check_one(&EnumWireDrift, "crates/core/src/wire.rs", src);
+        assert_eq!(findings.len(), 1, "non-enum matches keep wildcards: {findings:?}");
+        assert_eq!(findings[0].line, 5);
+        // The same file outside wire/serve is not dispatch code.
+        assert!(check_one(&EnumWireDrift, "crates/core/src/report.rs", src).is_empty());
+    }
+
+    #[test]
+    fn nested_lock_flags_reacquisition_and_helper_calls() {
+        let src = "\
+use std::sync::{Mutex, MutexGuard, PoisonError};
+pub struct Cache { mem: Mutex<u64>, disk: Mutex<u64> }
+impl Cache {
+    fn lock_mem(&self) -> MutexGuard<'_, u64> {
+        self.mem.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+    fn bump(&self) {
+        let mut mem = self.lock_mem();
+        *mem += 1;
+    }
+    fn double(&self) -> u64 {
+        let mem = self.lock_mem();
+        let disk = self.disk.lock().unwrap_or_else(PoisonError::into_inner);
+        *mem + *disk
+    }
+    fn helper_while_live(&self) {
+        let guard = self.lock_mem();
+        self.bump();
+        drop(guard);
+        self.bump();
+    }
+    fn scoped_is_fine(&self) -> u64 {
+        let n = {
+            let mem = self.lock_mem();
+            *mem
+        };
+        self.bump();
+        n
+    }
+}
+";
+        let findings = check_one(&NestedLockInServe, "crates/core/src/serve.rs", src);
+        let lines: Vec<usize> = findings.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![13, 18], "{findings:?}");
+        // Outside serve.rs the rule is silent.
+        assert!(check_one(&NestedLockInServe, "crates/core/src/exec.rs", src).is_empty());
     }
 }

@@ -20,6 +20,46 @@
 //! literals, raw strings (`r"…"`, `r#"…"#`), byte strings, and the
 //! char-literal/lifetime ambiguity (`'a'` vs `'a`).
 
+/// One lexical token of a scrubbed code line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tok<'a> {
+    /// The token text (an identifier/number word, or one punct char).
+    pub text: &'a str,
+    /// Whether the token is a word (identifier, keyword or number).
+    pub is_word: bool,
+}
+
+/// Splits one scrubbed code line into word and punctuation tokens.
+pub fn tokens(code: &str) -> Vec<Tok<'_>> {
+    let mut out = Vec::new();
+    let bytes = code.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+        } else if c.is_ascii_alphanumeric() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            out.push(Tok {
+                text: &code[start..i],
+                is_word: true,
+            });
+        } else {
+            out.push(Tok {
+                text: &code[i..i + 1],
+                is_word: false,
+            });
+            i += 1;
+        }
+    }
+    out
+}
+
 /// One scanned source line.
 #[derive(Debug, Clone)]
 pub struct Line {
@@ -112,6 +152,15 @@ impl SourceFile {
         let mut pragmas = Vec::new();
         let mut bad_pragmas = Vec::new();
         for line in &lines {
+            // Doc comments (`//!`, `///`, `/** … */`) are documentation:
+            // a pragma-shaped example inside one must neither suppress
+            // findings nor count as a stale pragma.
+            if matches!(
+                line.comment.trim_start().chars().next(),
+                Some('!') | Some('/') | Some('*')
+            ) {
+                continue;
+            }
             match parse_pragma(&line.comment) {
                 PragmaParse::None => {}
                 PragmaParse::Ok { rule, reason } => pragmas.push(Pragma {
@@ -149,11 +198,19 @@ impl SourceFile {
             .map(|l| l.number)
     }
 
-    /// Whether a finding of `rule` on `line` is suppressed by a pragma.
-    pub fn is_suppressed(&self, rule: &str, line: usize) -> bool {
+    /// The line of the pragma (if any) that suppresses a finding of
+    /// `rule` on `line`. Used by the driver both to drop the finding and
+    /// to mark the pragma as earning its keep (`unused-pragma`).
+    pub fn suppressing_pragma(&self, rule: &str, line: usize) -> Option<usize> {
         self.pragmas
             .iter()
-            .any(|p| p.rule == rule && self.pragma_target(p.line) == Some(line))
+            .find(|p| p.rule == rule && self.pragma_target(p.line) == Some(line))
+            .map(|p| p.line)
+    }
+
+    /// Whether a finding of `rule` on `line` is suppressed by a pragma.
+    pub fn is_suppressed(&self, rule: &str, line: usize) -> bool {
+        self.suppressing_pragma(rule, line).is_some()
     }
 }
 
@@ -369,8 +426,9 @@ fn raw_close(chars: &[char], i: usize, hashes: u8) -> bool {
 fn char_literal_len(chars: &[char], i: usize) -> Option<usize> {
     match chars.get(i + 1)? {
         '\\' => {
-            // Escaped char: scan to the closing quote.
-            let mut j = i + 2;
+            // Escaped char: skip the escaped character itself (it may be
+            // `'`, as in `'\''`), then scan to the closing quote.
+            let mut j = i + 3;
             while j < chars.len() && chars[j] != '\'' && chars[j] != '\n' {
                 j += 1;
             }
@@ -609,5 +667,71 @@ let s = \"countlint: allow(in-a-string) -- not a pragma\";
         let f = scan("let s = \"countlint: allow(x) -- nope\";\n");
         assert!(f.pragmas.is_empty());
         assert!(f.bad_pragmas.is_empty());
+    }
+
+    #[test]
+    fn pragma_in_doc_comment_is_documentation_not_suppression() {
+        let src = "\
+//! // countlint: allow(rule-a) -- an example in module docs
+/// // countlint: allow(rule-b) -- an example in item docs
+/** countlint: allow(rule-c) -- block doc */
+// countlint: allow(rule-d) -- a real pragma
+let x = 1;
+";
+        let f = scan(src);
+        assert_eq!(f.pragmas.len(), 1, "{:?}", f.pragmas);
+        assert_eq!(f.pragmas[0].rule, "rule-d");
+        assert!(f.bad_pragmas.is_empty());
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_is_not_a_string_opener() {
+        // `'\''` must scan as a 4-char literal; the old scanner stopped at
+        // the escaped quote and mis-lexed everything after it.
+        let f = scan("let q = '\\''; let s = \"HashMap\"; let t = HashMap;\n");
+        assert!(
+            !f.lines[0].code.contains("\"HashMap\""),
+            "literal interior must be blanked: {:?}",
+            f.lines[0].code
+        );
+        assert!(f.lines[0].code.contains("let t = HashMap;"));
+        let f = scan("let b = '\\\\'; let u = '\\u{7FFF}'; Instant::now();\n");
+        assert!(f.lines[0].code.contains("Instant::now()"));
+        assert!(!f.lines[0].code.contains("7FFF"));
+    }
+
+    #[test]
+    fn raw_strings_with_multi_hash_guards() {
+        let f = scan(concat!(
+            "let a = r##\"inner \"# quote guard then HashMap\"##;\n",
+            "let b = br#\"bytes \" here\"#;\n",
+            "HashMap;\n"
+        ));
+        assert!(!f.lines[0].code.contains("HashMap"), "{:?}", f.lines[0].code);
+        assert!(!f.lines[1].code.contains("bytes"));
+        assert!(f.lines[2].code.contains("HashMap"));
+    }
+
+    #[test]
+    fn lifetime_ticks_do_not_open_char_literals() {
+        let f = scan("fn f<'a, 'b: 'a>(x: &'a str, y: &'b [u8]) -> &'a str { x }\n");
+        assert!(f.lines[0].code.contains("<'a, 'b: 'a>"));
+        assert!(f.lines[0].code.contains("{ x }"), "{:?}", f.lines[0].code);
+    }
+
+    #[test]
+    fn deeply_nested_block_comments() {
+        let f = scan("/* a /* b /* c */ b */ a */ let ok = 1; /* tail */\n");
+        assert!(f.lines[0].code.contains("let ok = 1;"));
+        assert!(!f.lines[0].code.contains('a'));
+        assert!(!f.lines[0].code.contains("tail"));
+    }
+
+    #[test]
+    fn tokens_split_words_and_punct() {
+        let toks = tokens("Benchmark::Loop { iters }");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text).collect();
+        assert_eq!(texts, ["Benchmark", ":", ":", "Loop", "{", "iters", "}"]);
+        assert!(toks[0].is_word && !toks[1].is_word);
     }
 }

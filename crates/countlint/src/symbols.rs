@@ -1,0 +1,189 @@
+//! Phase 2 substrate: the workspace-wide symbol graph.
+//!
+//! A [`Workspace`] owns every scanned file together with its parsed item
+//! spans ([`crate::parse`]), and answers the cross-file questions the
+//! semantic rules ask: which enums exist and where their variants are
+//! defined, which types implement a trait, where a named `fn`'s body
+//! starts and ends, and whether a token sequence occurs in a file's
+//! non-test code.
+
+use crate::parse::{self, Item, ItemKind};
+use crate::scan::{tokens, SourceFile};
+use std::collections::BTreeSet;
+
+/// One file plus its parsed items.
+#[derive(Debug)]
+pub struct WsFile {
+    pub source: SourceFile,
+    pub items: Vec<Item>,
+}
+
+impl WsFile {
+    /// The first non-test `fn` with this name, if any.
+    pub fn fn_named(&self, name: &str) -> Option<&Item> {
+        self.items
+            .iter()
+            .find(|i| i.kind == ItemKind::Fn && !i.in_test && i.name == name)
+    }
+
+    /// All non-test `fn` items.
+    pub fn fns(&self) -> impl Iterator<Item = &Item> {
+        self.items
+            .iter()
+            .filter(|i| i.kind == ItemKind::Fn && !i.in_test)
+    }
+
+    /// All non-test `match` spans.
+    pub fn matches(&self) -> impl Iterator<Item = &Item> {
+        self.items
+            .iter()
+            .filter(|i| i.kind == ItemKind::Match && !i.in_test)
+    }
+
+    /// The non-test enum with this name, if the file defines one.
+    pub fn enum_named(&self, name: &str) -> Option<&Item> {
+        self.items
+            .iter()
+            .find(|i| i.kind == ItemKind::Enum && !i.in_test && i.name == name)
+    }
+
+    /// First non-test code line in `[start, end]` whose tokens contain
+    /// `seq` contiguously.
+    pub fn find_token_seq_in(&self, seq: &[&str], start: usize, end: usize) -> Option<usize> {
+        self.source
+            .lines
+            .iter()
+            .filter(|l| !l.in_test && l.number >= start && l.number <= end)
+            .find(|l| line_has_seq(&l.code, seq))
+            .map(|l| l.number)
+    }
+
+    /// First non-test code line anywhere in the file containing `seq`.
+    pub fn find_token_seq(&self, seq: &[&str]) -> Option<usize> {
+        self.find_token_seq_in(seq, 1, usize::MAX)
+    }
+}
+
+/// Whether one scrubbed code line contains `seq` as contiguous tokens.
+pub fn line_has_seq(code: &str, seq: &[&str]) -> bool {
+    let toks = tokens(code);
+    if toks.len() < seq.len() {
+        return false;
+    }
+    toks.windows(seq.len())
+        .any(|w| w.iter().zip(seq).all(|(t, s)| t.text == *s))
+}
+
+/// The workspace symbol graph: every file, parsed.
+#[derive(Debug)]
+pub struct Workspace {
+    files: Vec<WsFile>,
+}
+
+impl Workspace {
+    pub fn new(sources: Vec<SourceFile>) -> Workspace {
+        let files = sources
+            .into_iter()
+            .map(|source| {
+                let items = parse::parse(&source);
+                WsFile { source, items }
+            })
+            .collect();
+        Workspace { files }
+    }
+
+    pub fn files(&self) -> &[WsFile] {
+        &self.files
+    }
+
+    /// The file at this repo-relative path, if scanned.
+    pub fn file(&self, path: &str) -> Option<&WsFile> {
+        self.files.iter().find(|f| f.source.path == path)
+    }
+
+    /// All non-test enum definitions: `(file, enum item)`.
+    pub fn enums(&self) -> impl Iterator<Item = (&WsFile, &Item)> {
+        self.files.iter().flat_map(|f| {
+            f.items
+                .iter()
+                .filter(|i| i.kind == ItemKind::Enum && !i.in_test)
+                .map(move |i| (f, i))
+        })
+    }
+
+    /// Names of every non-test enum defined anywhere in the workspace.
+    pub fn enum_names(&self) -> BTreeSet<&str> {
+        self.enums().map(|(_, e)| e.name.as_str()).collect()
+    }
+
+    /// All non-test `impl <trait_name> for T` blocks: `(file, impl item)`.
+    pub fn impls_of(&self, trait_name: &str) -> impl Iterator<Item = (&WsFile, &Item)> {
+        let want = trait_name.to_string();
+        self.files.iter().flat_map(move |f| {
+            let want = want.clone();
+            f.items
+                .iter()
+                .filter(move |i| {
+                    i.kind == ItemKind::Impl
+                        && !i.in_test
+                        && i.trait_name.as_deref() == Some(want.as_str())
+                })
+                .map(move |i| (f, i))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(files: &[(&str, &str)]) -> Workspace {
+        Workspace::new(
+            files
+                .iter()
+                .map(|(p, s)| SourceFile::scan(p, s))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn cross_file_queries() {
+        let w = ws(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub enum Color { Red, Green }\npub trait Paint {}\n",
+            ),
+            (
+                "crates/b/src/lib.rs",
+                "pub struct Wall;\nimpl Paint for Wall {}\n",
+            ),
+        ]);
+        assert!(w.enum_names().contains("Color"));
+        let impls: Vec<_> = w.impls_of("Paint").collect();
+        assert_eq!(impls.len(), 1);
+        assert_eq!(impls[0].1.name, "Wall");
+        assert_eq!(impls[0].0.source.path, "crates/b/src/lib.rs");
+    }
+
+    #[test]
+    fn token_seq_search_respects_spans_and_tests() {
+        let src = "\
+fn wire() {
+    let b = Benchmark::Loop;
+}
+#[cfg(test)]
+mod tests {
+    fn t() { let b = Benchmark::Null; }
+}
+";
+        let w = ws(&[("crates/a/src/wire.rs", src)]);
+        let f = w.file("crates/a/src/wire.rs").unwrap();
+        assert_eq!(f.find_token_seq(&["Benchmark", ":", ":", "Loop"]), Some(2));
+        assert_eq!(
+            f.find_token_seq(&["Benchmark", ":", ":", "Null"]),
+            None,
+            "test-only code is invisible to drift checks"
+        );
+        assert_eq!(f.find_token_seq_in(&["Benchmark", ":", ":", "Loop"], 3, 9), None);
+    }
+}

@@ -13,7 +13,7 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use countlint::{lint_root, lint_source, report};
+use countlint::{baseline, lint_root, lint_source, report};
 
 fn fixtures_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/lint_fixtures")
@@ -27,6 +27,63 @@ fn fixture_paths() -> Vec<PathBuf> {
         .collect();
     paths.sort();
     paths
+}
+
+/// The tree-fixture directories (`tests/lint_fixtures/trees/*`): each is
+/// a miniature workspace linted with `lint_root`, exercising the rules
+/// that need more than one file to fire.
+fn tree_dirs() -> Vec<PathBuf> {
+    let mut dirs: Vec<PathBuf> = fs::read_dir(fixtures_dir().join("trees"))
+        .expect("tree fixture dir exists")
+        .map(|e| e.expect("tree dir entry").path())
+        .filter(|p| p.is_dir())
+        .collect();
+    dirs.sort();
+    dirs
+}
+
+/// Collects every `.rs` file under `dir`, recursively.
+fn rs_files_under(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in fs::read_dir(&d).expect("walk tree fixture") {
+            let path = entry.expect("tree fixture entry").path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Expected findings for a tree fixture: every `//~ <rule>` marker in
+/// every file, keyed by the tree-relative `/`-separated path (no
+/// `//~ as:` header — the on-disk layout *is* the virtual layout).
+fn tree_expectations(tree: &Path) -> Vec<(String, usize, String)> {
+    let mut expected = Vec::new();
+    for path in rs_files_under(tree) {
+        let rel = path
+            .strip_prefix(tree)
+            .expect("file is under its tree")
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy().into_owned())
+            .collect::<Vec<_>>()
+            .join("/");
+        let source = fs::read_to_string(&path).expect("read tree fixture file");
+        for (i, line) in source.lines().enumerate() {
+            if let Some((_, marker)) = line.split_once("//~ ") {
+                for rule in marker.split(',') {
+                    expected.push((rel.clone(), i + 1, rule.trim().to_string()));
+                }
+            }
+        }
+    }
+    expected.sort();
+    expected
 }
 
 /// Parses a fixture into its virtual path and expected findings.
@@ -53,7 +110,7 @@ fn parse_fixture(source: &str) -> (String, Vec<(usize, String)>) {
 fn fixtures_conform_line_by_line() {
     let paths = fixture_paths();
     assert!(
-        paths.len() >= 9,
+        paths.len() >= 12,
         "expected the full fixture corpus, found {}",
         paths.len()
     );
@@ -96,6 +153,107 @@ fn suppression_pragmas_are_honored_and_counted() {
     let outcome = lint_source(&virtual_path, &source);
     assert!(outcome.is_clean(), "{:?}", outcome.findings);
     assert_eq!(outcome.suppressed, 2, "both pragma forms count");
+}
+
+#[test]
+fn tree_fixtures_conform_file_by_file() {
+    // Cross-file rules (registry membership, enum/wire drift) only fire
+    // against a whole workspace, so their fixtures are directory trees
+    // linted with `lint_root`. Same contract as the single-file harness:
+    // the exact `(file, line, rule)` multiset, so a missed finding and an
+    // over-firing rule both fail.
+    let trees = tree_dirs();
+    assert!(trees.len() >= 2, "expected bad and good fixture trees");
+    for tree in trees {
+        let outcome = lint_root(&tree).expect("lint fixture tree");
+        let mut got: Vec<(String, usize, String)> = outcome
+            .findings
+            .iter()
+            .map(|f| (f.file.clone(), f.line, f.rule.clone()))
+            .collect();
+        got.sort();
+        assert_eq!(got, tree_expectations(&tree), "tree {}", tree.display());
+    }
+}
+
+#[test]
+fn bad_trees_fail_and_good_trees_pass() {
+    // Pin the exit-code split the CI gate relies on for trees, same as
+    // for single-file fixtures.
+    for tree in tree_dirs() {
+        let name = tree.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        let outcome = lint_root(&tree).expect("lint fixture tree");
+        if name.starts_with("bad_") {
+            assert!(!outcome.is_clean(), "{name} must have findings");
+        } else {
+            assert!(
+                outcome.is_clean(),
+                "{name} must be clean: {:?}",
+                outcome.findings
+            );
+        }
+    }
+}
+
+#[test]
+fn stale_pragma_fixture_fires_on_the_pragma_line() {
+    // The unused-pragma fixture pins the staleness contract end to end:
+    // the stale waiver is the finding, the used waiver suppresses one
+    // wall-clock read, and the cfg(test) pragma is not policed.
+    let source = fs::read_to_string(fixtures_dir().join("bad_unused_pragma.rs")).unwrap();
+    let (virtual_path, _) = parse_fixture(&source);
+    let outcome = lint_source(&virtual_path, &source);
+    assert_eq!(outcome.findings.len(), 1);
+    assert_eq!(outcome.findings[0].rule, "unused-pragma");
+    assert_eq!(outcome.suppressed, 1, "the used pragma still counts");
+}
+
+#[test]
+fn workspace_baseline_matches_the_committed_file() {
+    // The committed ratchet file must agree with a fresh lint of the
+    // tree: empty, because the workspace is dogfood-clean. If a rule
+    // lands that the tree does not yet satisfy, regenerate the file with
+    // `--write-baseline lint-baseline.json` and this test pins the new
+    // contract instead.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let committed = fs::read_to_string(root.join("lint-baseline.json"))
+        .expect("lint-baseline.json is committed at the repo root");
+    let base = baseline::Baseline::parse(&committed).expect("committed baseline parses");
+    let outcome = lint_root(root).expect("lint the workspace");
+    let current = baseline::Baseline::from_findings(&outcome.findings);
+    let delta = baseline::compare(&base, &current);
+    assert!(
+        delta.regressions.is_empty(),
+        "tree regressed past the committed baseline: {:?}",
+        delta.regressions
+    );
+    assert!(
+        delta.improvements.is_empty(),
+        "baseline is looser than the tree; tighten lint-baseline.json: {:?}",
+        delta.improvements
+    );
+    assert_eq!(current.render(), committed, "committed baseline is canonical");
+}
+
+#[test]
+fn github_annotations_cover_every_finding() {
+    // `--format github` drives inline PR annotations; one ::error line
+    // per finding, with file and line machine-readable.
+    let source = fs::read_to_string(fixtures_dir().join("bad_nested_lock.rs")).unwrap();
+    let (virtual_path, _) = parse_fixture(&source);
+    let outcome = lint_source(&virtual_path, &source);
+    assert!(!outcome.findings.is_empty());
+    let gh = report::render_github(&outcome.findings, outcome.files_scanned, outcome.suppressed);
+    let annotations = gh.lines().filter(|l| l.starts_with("::error ")).count();
+    assert_eq!(annotations, outcome.findings.len());
+    for f in &outcome.findings {
+        assert!(
+            gh.contains(&format!("file={},line={},", f.file, f.line)),
+            "annotation for {}:{} missing in:\n{gh}",
+            f.file,
+            f.line
+        );
+    }
 }
 
 #[test]

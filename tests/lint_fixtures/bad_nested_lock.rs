@@ -1,0 +1,48 @@
+//~ as: crates/core/src/serve.rs
+// Known-bad fixture: lock re-acquisition while a MutexGuard is live.
+// `lock_mem` takes the cache mutex directly and returns the guard, so
+// the symbol graph classifies it as both a locker and a guard producer;
+// calling it again while `mem` is still in scope would deadlock the
+// serving path. The scoped variants below must stay silent.
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+pub struct Cache {
+    mem: Mutex<Vec<u8>>,
+}
+
+impl Cache {
+    fn lock_mem(&self) -> MutexGuard<'_, Vec<u8>> {
+        self.mem.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn bump(&self) {
+        let mut mem = self.lock_mem();
+        mem.push(1);
+        let len = self.lock_mem().len(); //~ nested-lock-in-serve
+        mem.truncate(len);
+    }
+
+    pub fn double_read(&self) -> usize {
+        self.lock_mem().len() + self.lock_mem().len() //~ nested-lock-in-serve
+    }
+
+    pub fn scoped_is_fine(&self) -> usize {
+        let first = {
+            let mem = self.lock_mem();
+            mem.len()
+        };
+        let second = self.lock_mem().len();
+        first + second
+    }
+
+    pub fn dropped_is_fine(&self) -> usize {
+        let mem = self.lock_mem();
+        let n = mem.len();
+        drop(mem);
+        self.lock_mem().len() + n
+    }
+
+    pub fn deferred_is_fine(&self) {
+        std::thread::spawn(move || self.lock_mem().len());
+    }
+}

@@ -1,0 +1,24 @@
+//~ as: crates/core/src/exec.rs
+// Known-bad fixture: a waiver that outlived its violation. The first
+// pragma suppresses nothing (the wall-clock read it once justified is
+// gone), so the pragma line itself is the finding. The second pragma is
+// genuinely used and must stay silent.
+// countlint: allow(wall-clock-in-core) -- stale: the Instant read below was removed //~ unused-pragma
+pub fn step(n: u64) -> u64 {
+    n.wrapping_add(1)
+}
+
+pub fn probe() -> u64 {
+    // countlint: allow(wall-clock-in-core) -- fixture: this pragma suppresses the read below
+    let t = std::time::Instant::now();
+    drop(t);
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    // countlint: allow(wall-clock-in-core) -- test code is exempt, so this stale pragma is not policed
+    pub fn helper(n: u64) -> u64 {
+        n
+    }
+}

@@ -1,0 +1,29 @@
+//~ as: crates/core/src/wire.rs
+// Known-bad fixture: a wildcard `_` arm in a wire-dispatch match over a
+// workspace enum. The wildcard turns "non-exhaustive match" from a
+// compile error into silent acceptance: a future `Verb` variant would
+// be swallowed here instead of forcing an edit. The string-keyed match
+// below is out of scope (its patterns are not enum paths) and must stay
+// silent.
+pub enum Verb {
+    Ping,
+    Count,
+    Quit,
+}
+
+pub fn opcode(v: Verb) -> u8 {
+    match v {
+        Verb::Ping => 1,
+        Verb::Count => 2,
+        _ => 0, //~ enum-wire-drift
+    }
+}
+
+pub fn parse_verb(word: &str) -> Option<Verb> {
+    match word {
+        "ping" => Some(Verb::Ping),
+        "count" => Some(Verb::Count),
+        "quit" => Some(Verb::Quit),
+        _ => None,
+    }
+}

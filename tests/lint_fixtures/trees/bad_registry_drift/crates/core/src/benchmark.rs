@@ -1,0 +1,20 @@
+//! Workload benchmarks (drift fixture).
+//!
+//! Oracle table — one row per workload:
+//!
+//! | workload   | loop events |
+//! |------------|-------------|
+//! | `counting` | n           |
+//! | `memory`   | 2n          |
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum Benchmark {
+    Counting,
+    Memory,
+    Phantom, //~ enum-wire-drift, enum-wire-drift
+}
+
+impl Benchmark {
+    pub const ALL: [Benchmark; 3] =
+        [Benchmark::Counting, Benchmark::Memory, Benchmark::Phantom];
+}

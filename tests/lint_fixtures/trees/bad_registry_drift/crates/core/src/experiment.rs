@@ -1,0 +1,10 @@
+//! Experiment registry (drift fixture). `Rogue` implements the trait
+//! but never appears here, so roster-driven sweeps skip it silently.
+
+pub trait Experiment {
+    fn name(&self) -> &'static str;
+}
+
+pub fn registry() -> Vec<&'static dyn Experiment> {
+    vec![&crate::experiments::alpha::Alpha]
+}

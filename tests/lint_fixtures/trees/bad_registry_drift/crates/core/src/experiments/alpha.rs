@@ -1,0 +1,9 @@
+//! A registered experiment: listed in `experiments::registry()`.
+
+pub struct Alpha;
+
+impl crate::experiment::Experiment for Alpha {
+    fn name(&self) -> &'static str {
+        "alpha"
+    }
+}

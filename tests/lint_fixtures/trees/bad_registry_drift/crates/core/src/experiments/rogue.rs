@@ -1,0 +1,10 @@
+//! An experiment that drifted out of the registry: the impl exists but
+//! `experiments::registry()` never returns it.
+
+pub struct Rogue;
+
+impl crate::experiment::Experiment for Rogue { //~ unregistered-experiment
+    fn name(&self) -> &'static str {
+        "rogue"
+    }
+}

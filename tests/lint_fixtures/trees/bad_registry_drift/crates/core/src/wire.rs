@@ -1,0 +1,22 @@
+//! COUNTD/1 wire protocol (drift fixture). `Benchmark::Phantom` has no
+//! parse arm here, and `Mode::Github` is missing from `Mode::ALL`.
+
+use crate::benchmark::Benchmark;
+
+pub enum Mode {
+    Text,
+    Json,
+    Github, //~ enum-wire-drift
+}
+
+impl Mode {
+    pub const ALL: [Mode; 2] = [Mode::Text, Mode::Json];
+}
+
+pub fn parse_workload(word: &str) -> Option<Benchmark> {
+    match word {
+        "counting" => Some(Benchmark::Counting),
+        "memory" => Some(Benchmark::Memory),
+        _ => None,
+    }
+}

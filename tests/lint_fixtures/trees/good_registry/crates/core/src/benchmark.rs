@@ -1,0 +1,17 @@
+//! Workload benchmarks (clean fixture): every variant has a wire parse
+//! arm, an oracle-table row, and an `ALL` roster slot.
+//!
+//! | workload   | loop events |
+//! |------------|-------------|
+//! | `counting` | n           |
+//! | `memory`   | 2n          |
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum Benchmark {
+    Counting,
+    Memory,
+}
+
+impl Benchmark {
+    pub const ALL: [Benchmark; 2] = [Benchmark::Counting, Benchmark::Memory];
+}

@@ -1,0 +1,10 @@
+//! Experiment registry (clean fixture): every `impl Experiment` in the
+//! tree is listed here.
+
+pub trait Experiment {
+    fn name(&self) -> &'static str;
+}
+
+pub fn registry() -> Vec<&'static dyn Experiment> {
+    vec![&crate::experiments::alpha::Alpha]
+}

@@ -1,0 +1,9 @@
+//! The one experiment in the clean fixture tree; registered.
+
+pub struct Alpha;
+
+impl crate::experiment::Experiment for Alpha {
+    fn name(&self) -> &'static str {
+        "alpha"
+    }
+}

@@ -1,0 +1,20 @@
+//! COUNTD/1 wire protocol (clean fixture): the dispatch match names
+//! every `Benchmark` variant explicitly — no wildcard arm to swallow a
+//! future one.
+
+use crate::benchmark::Benchmark;
+
+pub fn parse_workload(word: &str) -> Option<Benchmark> {
+    match word {
+        "counting" => Some(Benchmark::Counting),
+        "memory" => Some(Benchmark::Memory),
+        _ => None,
+    }
+}
+
+pub fn workload_word(b: Benchmark) -> &'static str {
+    match b {
+        Benchmark::Counting => "counting",
+        Benchmark::Memory => "memory",
+    }
+}
