@@ -25,8 +25,17 @@
 //!    served bytes are asserted identical to the local fresh-boot
 //!    encoding before any number is reported; `warm_speedup_vs_fresh`
 //!    documents the cache-hit throughput against local recompute.
+//! 6. **`served_latency`** (`--served`) — the protocol round-trip cost:
+//!    connect + `PING`/`PONG` per iteration with `TCP_NODELAY` on both
+//!    halves, so the wire overhead is measured, not assumed.
 //!
-//! Results are written as machine-readable JSON (`BENCH_7.json` by
+//! With `--chaos-seed` the served workloads run against a countd that
+//! injects deterministic faults ([`counterlab::fault::FaultPlan`]); the
+//! cache-population assertions are relaxed (retries legitimately split
+//! a cold fill across attempts) but byte identity still holds for every
+//! response that succeeds.
+//!
+//! Results are written as machine-readable JSON (`BENCH_8.json` by
 //! default; `--json PATH` overrides) so CI can archive one artifact per
 //! PR and the perf trajectory accumulates. Allocation counts per run come
 //! from a counting global allocator and document the hot-loop hoisting:
@@ -136,6 +145,15 @@ fn fnv1a(hash: &mut u64, bytes: &[u8]) {
     }
 }
 
+/// Network shaping for the served workload, straight from the CLI's
+/// `--timeout`/`--retries`/`--chaos-seed` flags. `chaos_seed` carries
+/// `(seed, permille)`; `None` everywhere means production defaults.
+pub struct NetOptions {
+    pub timeout_ms: Option<u64>,
+    pub retries: Option<u32>,
+    pub chaos_seed: Option<(u64, u64)>,
+}
+
 /// Runs the harness and writes `json_path`.
 ///
 /// # Errors
@@ -149,6 +167,7 @@ pub fn run(
     jobs: usize,
     json_path: &Path,
     served: bool,
+    net: &NetOptions,
 ) -> Result<(), String> {
     let opts = RunOptions::with_jobs(jobs);
     let err = |e: counterlab::CoreError| e.to_string();
@@ -282,20 +301,49 @@ pub fn run(
     // 5. (--served) The null grid over countd: cold fill, warm cache hits.
     if let Some(local_body) = local_body {
         use counterlab::exec::Priority;
+        use counterlab::fault::FaultPlan;
         use counterlab::serve::{self, ServeConfig, Server};
+        use std::sync::Arc;
+        let chaos = net.chaos_seed.is_some();
+        let copts = crate::call_options(net.timeout_ms, net.retries);
         grid.fresh_boot = true;
-        eprintln!("bench: served_grid ({runs} runs over countd, memory cache)");
-        let server = Server::spawn(ServeConfig {
+        eprintln!(
+            "bench: served_grid ({runs} runs over countd, memory cache{})",
+            if chaos { ", CHAOS MODE" } else { "" }
+        );
+        let mut config = ServeConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: jobs,
             ..ServeConfig::default()
-        })
-        .map_err(err)?;
+        };
+        if let Some(ms) = net.timeout_ms {
+            config.read_timeout_ms = ms;
+            config.write_timeout_ms = ms;
+        }
+        config.fault = net
+            .chaos_seed
+            .map(|(seed, permille)| Arc::new(FaultPlan::new(seed, permille)));
+        let server = Server::spawn(config).map_err(err)?;
         let addr = server.addr().to_string();
-        let (cold_result, cold) =
-            timed(runs, || serve::request_grid_raw(&addr, &grid, Priority::Bulk));
-        let (cold_meta, cold_body) = cold_result.map_err(err)?;
-        if cold_meta.misses != cells {
+        // Under chaos a cold attempt can fail even after retries; keep
+        // asking (each attempt makes cache progress) within a bound.
+        let mut cold_attempt = 0usize;
+        let (cold_meta, cold_body, cold) = loop {
+            cold_attempt += 1;
+            let (cold_result, cold) = timed(runs, || {
+                serve::request_grid_raw_with(&addr, &grid, Priority::Bulk, &copts)
+            });
+            match cold_result {
+                Ok((meta, body)) => break (meta, body, cold),
+                Err(e) if chaos && cold_attempt < 10 => {
+                    eprintln!("bench: served_grid cold attempt {cold_attempt} failed: {e}");
+                }
+                Err(e) => return Err(err(e)),
+            }
+        };
+        // Retries may split a cold fill across attempts, so exact
+        // hit/miss accounting only holds on the fault-free path.
+        if !chaos && cold_meta.misses != cells {
             return Err(format!(
                 "bench: expected a cold cache, got {} hits",
                 cold_meta.hits
@@ -307,10 +355,17 @@ pub fn run(
         let mut warm: Option<Pass> = None;
         for _ in 0..3 {
             let (result, pass) = timed(runs, || {
-                serve::request_grid_raw(&addr, &grid, Priority::Interactive)
+                serve::request_grid_raw_with(&addr, &grid, Priority::Interactive, &copts)
             });
-            let (meta, body) = result.map_err(err)?;
-            if meta.hits != cells {
+            let (meta, body) = match result {
+                Ok(ok) => ok,
+                Err(e) if chaos => {
+                    eprintln!("bench: served_grid warm pass failed: {e}");
+                    continue;
+                }
+                Err(e) => return Err(err(e)),
+            };
+            if !chaos && meta.hits != cells {
                 return Err("bench: warm request missed the cache".into());
             }
             if body != local_body {
@@ -323,7 +378,7 @@ pub fn run(
                 warm = Some(pass);
             }
         }
-        let warm = warm.expect("three warm passes");
+        let warm = warm.ok_or("bench: no warm pass succeeded")?;
         let warm_speedup = warm.runs_per_sec / fresh.runs_per_sec;
         eprintln!(
             "bench: served_grid cold {:.0} runs/s, warm {:.0} runs/s \
@@ -332,14 +387,38 @@ pub fn run(
         );
         workloads.push(format!(
             "    {{\"name\": \"served_grid\", \"cells\": {cells}, \"reps\": {reps}, \
-             \"cold\": {}, \"warm\": {}, \"warm_speedup_vs_fresh\": {warm_speedup:.1}}}",
+             \"chaos\": {chaos}, \"cold\": {}, \"warm\": {}, \
+             \"warm_speedup_vs_fresh\": {warm_speedup:.1}}}",
             cold.json(),
             warm.json()
+        ));
+
+        // 6. Protocol round-trip latency: connect + PING/PONG per
+        // iteration. TCP_NODELAY on both halves makes this the honest
+        // wire cost of one request — no Nagle batching hiding it.
+        let pings = 200usize;
+        eprintln!("bench: served_latency ({pings} ping round-trips)");
+        let mut ok = 0usize;
+        let t0 = Instant::now();
+        for _ in 0..pings {
+            match serve::request_ping_with(&addr, &copts) {
+                Ok(()) => ok += 1,
+                Err(e) if chaos => {
+                    let _ = e.is_retryable();
+                }
+                Err(e) => return Err(err(e)),
+            }
+        }
+        let mean_us = t0.elapsed().as_secs_f64() * 1e6 / pings as f64;
+        eprintln!("bench: served_latency mean {mean_us:.1} us/round-trip ({ok}/{pings} ok)");
+        workloads.push(format!(
+            "    {{\"name\": \"served_latency\", \"pings\": {pings}, \"ok\": {ok}, \
+             \"chaos\": {chaos}, \"mean_round_trip_us\": {mean_us:.1}}}"
         ));
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"counterlab repro bench\",\n  \"pr\": 7,\n  \"schema\": 1,\n  \
+        "{{\n  \"bench\": \"counterlab repro bench\",\n  \"pr\": 8,\n  \"schema\": 1,\n  \
          \"scale\": \"{scale_name}\",\n  \"jobs\": {},\n  \
          \"note\": \"fresh = one stack boot per run (the equivalence oracle; performance-\
          equivalent to the pre-PR engine within noise); session = boot once per cell, \

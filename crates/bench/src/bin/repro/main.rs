@@ -11,14 +11,16 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use counterlab::exec::{Priority, RunOptions};
 use counterlab::experiment::{
     ablation_owner, registry, suggest, ConsoleSink, EngineMode, ExperimentCtx, Scale,
 };
+use counterlab::fault::FaultPlan;
 use counterlab::grid::Grid;
 use counterlab::report;
-use counterlab::serve::{self, CacheConfig, ServeConfig, Server};
+use counterlab::serve::{self, CacheConfig, CallOptions, ServeConfig, Server};
 
 mod bench;
 
@@ -48,7 +50,12 @@ const DEFAULT_ADDR: &str = "127.0.0.1:6121";
 
 /// Default output path of `repro bench` (one JSON per PR: the perf
 /// trajectory accumulates as CI artifacts).
-const BENCH_JSON: &str = "BENCH_7.json";
+const BENCH_JSON: &str = "BENCH_8.json";
+
+/// Fault rate `--chaos-seed` injects: ~35 % of wire writes, disk-cache
+/// writes and worker-side computations fail on the seeded schedule —
+/// the same rate the chaos soak test runs at.
+const DEFAULT_CHAOS_PERMILLE: u64 = 350;
 
 fn run(args: &[String]) -> Result<(), String> {
     let mut scale = Scale::standard();
@@ -78,6 +85,10 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut priority: Option<Priority> = None;
     let mut csv_out = false;
     let mut served = false;
+    // Robustness knobs (serve/client/bench --served).
+    let mut timeout_ms: Option<u64> = None;
+    let mut retries: Option<u32> = None;
+    let mut chaos_seed: Option<u64> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -132,6 +143,27 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             "--csv" => csv_out = true,
             "--served" => served = true,
+            "--timeout" => {
+                i += 1;
+                let value = args.get(i).ok_or("--timeout needs milliseconds")?;
+                timeout_ms = Some(value.parse::<u64>().map_err(|_| {
+                    format!("--timeout needs milliseconds (0 disables), got {value:?}")
+                })?);
+            }
+            "--retries" => {
+                i += 1;
+                let value = args.get(i).ok_or("--retries needs a count")?;
+                retries = Some(value.parse::<u32>().map_err(|_| {
+                    format!("--retries needs a retry count (0 disables), got {value:?}")
+                })?);
+            }
+            "--chaos-seed" => {
+                i += 1;
+                let value = args.get(i).ok_or("--chaos-seed needs a seed")?;
+                chaos_seed = Some(value.parse::<u64>().map_err(|_| {
+                    format!("--chaos-seed needs an unsigned seed, got {value:?}")
+                })?);
+            }
             "--json" => {
                 i += 1;
                 bench_json = PathBuf::from(args.get(i).ok_or("--json needs a path")?);
@@ -209,11 +241,22 @@ fn run(args: &[String]) -> Result<(), String> {
         if scale_given || priority.is_some() || csv_out {
             return Err(format!("--scale/--priority/--csv are {CLIENT} flags; see --help"));
         }
-        return run_serve(addr, workers, cache_dir);
+        if retries.is_some() {
+            return Err(format!(
+                "--retries is a {CLIENT} flag (the server never retries); see --help"
+            ));
+        }
+        return run_serve(addr, workers, cache_dir, timeout_ms, chaos_seed);
     }
     if client {
         if workers_given || cache_dir.is_some() {
             return Err(format!("--workers/--cache-dir are {SERVE} flags; see --help"));
+        }
+        if chaos_seed.is_some() {
+            return Err(format!(
+                "--chaos-seed applies to {SERVE} and {BENCH} --served (faults are injected \
+                 server-side); see --help"
+            ));
         }
         let action = client_action
             .ok_or_else(|| format!("{CLIENT} needs an action: {}", CLIENT_ACTIONS.join("|")))?;
@@ -251,6 +294,7 @@ fn run(args: &[String]) -> Result<(), String> {
             experiment_id,
             stream,
             out_dir.as_deref(),
+            &call_options(timeout_ms, retries),
         );
     }
     if addr.is_some() || workers_given || cache_dir.is_some() || priority.is_some() || csv_out {
@@ -260,6 +304,17 @@ fn run(args: &[String]) -> Result<(), String> {
     }
     if served && !bench {
         return Err(format!("--served only applies to {BENCH}; see --help"));
+    }
+    if (timeout_ms.is_some() || retries.is_some() || chaos_seed.is_some()) && !bench {
+        return Err(format!(
+            "--timeout/--retries/--chaos-seed apply to {SERVE}/{CLIENT}/{BENCH} only"
+        ));
+    }
+    if bench && !served && (timeout_ms.is_some() || retries.is_some() || chaos_seed.is_some()) {
+        return Err(format!(
+            "--timeout/--retries/--chaos-seed on {BENCH} require --served (they shape \
+             the countd workload)"
+        ));
     }
 
     if json_given && !bench {
@@ -274,7 +329,18 @@ fn run(args: &[String]) -> Result<(), String> {
             .find(|n| Scale::from_name(n) == Some(scale))
             .copied()
             .unwrap_or("custom");
-        return bench::run(scale_name, scale, jobs, &bench_json, served);
+        return bench::run(
+            scale_name,
+            scale,
+            jobs,
+            &bench_json,
+            served,
+            &bench::NetOptions {
+                timeout_ms,
+                retries,
+                chaos_seed: chaos_seed.map(|s| (s, DEFAULT_CHAOS_PERMILLE)),
+            },
+        );
     }
 
     if list {
@@ -337,28 +403,59 @@ fn err(e: impl std::fmt::Display) -> String {
     e.to_string()
 }
 
+/// Builds the client-side retry policy from `--timeout`/`--retries`.
+/// `--timeout MS` arms the per-attempt socket deadline and scales the
+/// overall retry budget to cover every attempt; `0` disables both.
+fn call_options(timeout_ms: Option<u64>, retries: Option<u32>) -> CallOptions {
+    let mut opts = CallOptions::default();
+    if let Some(n) = retries {
+        opts.retries = n;
+    }
+    if let Some(ms) = timeout_ms {
+        opts.socket_timeout_ms = ms;
+        opts.deadline_ms = ms.saturating_mul(u64::from(opts.retries) + 1);
+    }
+    opts
+}
+
 /// `repro serve` — runs countd in the foreground until a client sends
 /// `SHUTDOWN` (or the process is killed).
 fn run_serve(
     addr: Option<String>,
     workers: usize,
     cache_dir: Option<PathBuf>,
+    timeout_ms: Option<u64>,
+    chaos_seed: Option<u64>,
 ) -> Result<(), String> {
     let cache_note = match &cache_dir {
         Some(dir) => format!("memory + disk cache at {}", dir.display()),
         None => "memory cache only".to_string(),
     };
-    let server = Server::spawn(ServeConfig {
+    let mut config = ServeConfig {
         addr: addr.unwrap_or_else(|| DEFAULT_ADDR.to_string()),
         workers,
         cache: CacheConfig {
             dir: cache_dir,
             ..CacheConfig::default()
         },
-    })
-    .map_err(err)?;
+        ..ServeConfig::default()
+    };
+    if let Some(ms) = timeout_ms {
+        config.read_timeout_ms = ms;
+        config.write_timeout_ms = ms;
+    }
+    config.fault = chaos_seed.map(|seed| Arc::new(FaultPlan::new(seed, DEFAULT_CHAOS_PERMILLE)));
+    let chaos_note = match &config.fault {
+        Some(plan) => format!(
+            "; CHAOS MODE: seed {} at {} permille — not for production",
+            plan.seed(),
+            plan.rate_permille()
+        ),
+        None => String::new(),
+    };
+    let server = Server::spawn(config).map_err(err)?;
     println!(
-        "countd listening on {} ({} workers, {cache_note}); \
+        "countd listening on {} ({} workers, {cache_note}){chaos_note}; \
          stop with `repro client --addr {} shutdown`",
         server.addr(),
         server.stats().workers,
@@ -380,18 +477,19 @@ fn run_client(
     experiment_id: Option<&str>,
     stream: bool,
     out_dir: Option<&std::path::Path>,
+    opts: &CallOptions,
 ) -> Result<(), String> {
     match action {
         "ping" => {
-            serve::request_ping(addr).map_err(err)?;
+            serve::request_ping_with(addr, opts).map_err(err)?;
             println!("pong from {addr}");
         }
         "shutdown" => {
-            serve::request_shutdown(addr).map_err(err)?;
+            serve::request_shutdown_with(addr, opts).map_err(err)?;
             println!("server at {addr} shut down");
         }
         "stats" => {
-            let s = serve::request_stats(addr).map_err(err)?;
+            let s = serve::request_stats_with(addr, opts).map_err(err)?;
             println!(
                 "countd at {addr}: {} requests ({} grids), cache {} hits / {} misses \
                  ({} from disk, {} poisoned), {} entries / {} bytes in memory, {} workers",
@@ -411,7 +509,7 @@ fn run_client(
             // `client grid --csv` is diffable against a local run.
             let grid = Grid::full_null(scale.grid_reps);
             let priority = priority.unwrap_or_else(|| serve::auto_priority(&grid));
-            let (meta, records) = serve::request_grid(addr, &grid, priority).map_err(err)?;
+            let (meta, records) = serve::request_grid_with(addr, &grid, priority, opts).map_err(err)?;
             if csv_out {
                 print!("{}", report::CSV_HEADER);
                 for record in &records {
@@ -436,7 +534,7 @@ fn run_client(
                 .copied()
                 .unwrap_or("standard");
             let artifacts =
-                serve::request_experiment(addr, id, scale_name, stream).map_err(err)?;
+                serve::request_experiment_with(addr, id, scale_name, stream, opts).map_err(err)?;
             for artifact in &artifacts {
                 if let Some(dir) = out_dir {
                     std::fs::create_dir_all(dir).map_err(err)?;
@@ -585,7 +683,9 @@ repro — regenerate the tables and figures of
 USAGE:
   repro [--scale quick|standard|paper] [--jobs N] [--out DIR] COMMAND...
   repro serve [--addr HOST:PORT] [--workers N] [--cache-dir DIR]
-  repro client [--addr HOST:PORT] grid|experiment ID|stats|ping|shutdown
+              [--timeout MS] [--chaos-seed N]
+  repro client [--addr HOST:PORT] [--timeout MS] [--retries N]
+               grid|experiment ID|stats|ping|shutdown
 
 OPTIONS:
   --scale quick|standard|paper  repetition preset (default standard)
@@ -600,7 +700,23 @@ OPTIONS:
                                 server's pool (default: auto by size)
   --csv                         client grid: print the records as CSV
   --served                      bench: add the countd served-vs-local
-                                workload (cold misses, warm cache hits)
+                                workload (cold misses, warm cache hits,
+                                protocol round-trip latency)
+  --timeout MS                  serve: per-connection socket read/write
+                                deadline; client / bench --served:
+                                per-attempt socket deadline, with the
+                                overall retry budget scaled to cover
+                                every attempt (0 disables; defaults
+                                10000 ms)
+  --retries N                   client / bench --served: retries after
+                                the first attempt on retryable errors
+                                (BUSY, socket faults; default 2 — safe
+                                because every request is idempotent)
+  --chaos-seed N                serve / bench --served: deterministic
+                                fault injection seeded with N at
+                                {DEFAULT_CHAOS_PERMILLE} permille (wire,
+                                disk cache, workers); same seed, same
+                                fault schedule — never for production
   --jobs N                      worker threads for the execution engine
                                 (default: one per available CPU; 1 runs
                                 the sweep sequentially on the calling
@@ -653,7 +769,8 @@ mod tests {
         }
         for word in [
             ALL, LIST, BENCH, SERVE, CLIENT, "--stream", "--jobs", "--out", "--scale", "--json",
-            "--addr", "--workers", "--cache-dir", "--priority", "--csv", "--served",
+            "--addr", "--workers", "--cache-dir", "--priority", "--csv", "--served", "--timeout",
+            "--retries", "--chaos-seed",
         ] {
             assert!(
                 help.split_whitespace().any(|w| w == word),
@@ -771,6 +888,8 @@ mod tests {
             "\"workload_zoo\"",
             "\"served_grid\"",
             "\"warm_speedup_vs_fresh\"",
+            "\"served_latency\"",
+            "\"mean_round_trip_us\"",
             "\"speedup\"",
             "\"fresh\"",
             "\"session\"",
@@ -811,6 +930,17 @@ mod tests {
             &["table1", "--addr", "127.0.0.1:1"],
             &["table1", "--csv"],
             &["--served", "table1"],
+            // Robustness knobs are scoped to serve/client/bench --served;
+            // anywhere else (or malformed) is a usage error.
+            &["serve", "--retries", "2"],
+            &["serve", "--timeout", "soon"],
+            &["client", "ping", "--chaos-seed", "7"],
+            &["client", "ping", "--retries", "-1"],
+            &["table1", "--timeout", "100"],
+            &["table1", "--retries", "1"],
+            &["table1", "--chaos-seed", "7"],
+            &["bench", "--chaos-seed", "7"],
+            &["bench", "--timeout", "100"],
         ] {
             assert!(super::run(&args(bad)).is_err(), "{bad:?} should be rejected");
         }

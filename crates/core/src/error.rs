@@ -56,6 +56,43 @@ pub enum CoreError {
     /// The countd daemon (or its client) hit a socket / filesystem
     /// error outside the protocol itself — bind, accept, read, write.
     Serve(String),
+    /// The countd daemon shed this request under load (connection cap,
+    /// saturated worker pool, request deadline) or a transient worker
+    /// failure. Nothing is wrong with the request itself: it is safe and
+    /// expected to retry, which the client's retry layer does.
+    Busy(String),
+}
+
+impl CoreError {
+    /// Whether a failed countd call is safe *and useful* to retry.
+    ///
+    /// Every measurement is a pure function of its cell identity, so a
+    /// retry can never produce different bytes — the question is only
+    /// whether the failure is transient. The taxonomy:
+    ///
+    /// * [`CoreError::Busy`] — the server itself said "try again".
+    /// * [`CoreError::Serve`] — socket-level failures (connect, read,
+    ///   write, timeouts): the network or the process may recover.
+    /// * [`CoreError::Protocol`] — retryable **unless** it carries a
+    ///   server-reported `ERR` (prefixed `"server: "` by the response
+    ///   reader): a malformed or truncated frame is transient line
+    ///   noise, but a server that *answered* with an error will answer
+    ///   with the same error again (measurements are deterministic).
+    /// * Every measurement-layer error is fatal: the request itself is
+    ///   invalid or the simulated stack rejected it deterministically.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            CoreError::Busy(_) | CoreError::Serve(_) => true,
+            CoreError::Protocol(what) => !what.starts_with("server: "),
+            CoreError::Interface(_)
+            | CoreError::Stats(_)
+            | CoreError::UnsupportedPattern { .. }
+            | CoreError::InvalidConfig(_)
+            | CoreError::CounterWentBackwards { .. }
+            | CoreError::NoData(_)
+            | CoreError::ZeroCounters => false,
+        }
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -82,6 +119,7 @@ impl fmt::Display for CoreError {
             }
             CoreError::Protocol(what) => write!(f, "wire protocol error: {what}"),
             CoreError::Serve(what) => write!(f, "serve error: {what}"),
+            CoreError::Busy(what) => write!(f, "countd busy (retryable): {what}"),
         }
     }
 }
@@ -155,5 +193,21 @@ mod tests {
         assert!(CoreError::Serve("bind failed".into())
             .to_string()
             .contains("bind failed"));
+        assert!(CoreError::Busy("pool saturated".into())
+            .to_string()
+            .contains("pool saturated"));
+    }
+
+    #[test]
+    fn retryable_taxonomy() {
+        assert!(CoreError::Busy("shed".into()).is_retryable());
+        assert!(CoreError::Serve("read timed out".into()).is_retryable());
+        // Malformed/truncated frames are transient line noise...
+        assert!(CoreError::Protocol("unexpected end of stream".into()).is_retryable());
+        // ...but a server-reported ERR is deterministic and final.
+        assert!(!CoreError::Protocol("server: zero hardware counters".into()).is_retryable());
+        assert!(!CoreError::ZeroCounters.is_retryable());
+        assert!(!CoreError::InvalidConfig("too many counters".into()).is_retryable());
+        assert!(!CoreError::NoData("fig1").is_retryable());
     }
 }

@@ -568,6 +568,20 @@ impl PriorityPool {
         self.workers.len()
     }
 
+    /// Jobs waiting in the two queues, not yet claimed by a worker.
+    /// countd's degraded mode reads this to shed compute-heavy requests
+    /// (`BUSY`) instead of queueing unboundedly behind a saturated pool;
+    /// the value is advisory — it can change before the caller acts on
+    /// it — which is fine for a load-shedding threshold.
+    pub fn queued(&self) -> usize {
+        let queues = self
+            .shared
+            .queues
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        queues.interactive.len() + queues.bulk.len()
+    }
+
     /// Queues `job` at `priority`. Returns immediately; results travel
     /// through whatever channel the job closes over.
     pub fn submit<F>(&self, priority: Priority, job: F)

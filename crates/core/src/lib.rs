@@ -26,7 +26,9 @@
 //! * [`report`] — text/CSV rendering;
 //! * [`wire`], [`serve`] — the `countd` measurement daemon: a versioned
 //!   line protocol and a server with a content-addressed result cache,
-//!   so repeated sweeps are answered without re-measurement.
+//!   so repeated sweeps are answered without re-measurement;
+//! * [`fault`] — a seeded, reproducible fault-injection plane used by
+//!   the chaos suite to prove the daemon degrades instead of dying.
 //!
 //! The hardware and OS substrates live in the sibling crates
 //! `counterlab-cpu`, `counterlab-kernel`, `counterlab-perfctr`,
@@ -64,6 +66,7 @@ pub mod config;
 pub mod exec;
 pub mod experiment;
 pub mod experiments;
+pub mod fault;
 pub mod grid;
 pub mod interface;
 pub mod measure;

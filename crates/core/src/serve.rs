@@ -25,18 +25,35 @@
 //!
 //! The client side lives here too ([`request_grid`], [`request_stats`],
 //! …) so `repro client` and the tests speak through one implementation.
+//!
+//! # Failure model
+//!
+//! The daemon **degrades, never dies**: every accepted connection runs
+//! under read/write deadlines, the accept loop caps live connections
+//! and sheds the excess with a typed `BUSY` response, grid requests
+//! carry a compute deadline and are shed (`BUSY`) when the worker pool
+//! saturates, and one poisoned connection can never take down the
+//! accept loop. On the client side every `request_*` call retries
+//! retryable failures ([`CoreError::is_retryable`]) with seeded
+//! exponential backoff under an overall deadline ([`CallOptions`]) —
+//! safe because measurements are pure functions of their cell identity,
+//! so a retry is idempotent by construction. The whole plane is
+//! exercised by the seeded chaos suite via [`crate::fault::FaultPlan`].
 
 use std::collections::BTreeMap;
 use std::io::{BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::thread;
+// countlint: allow(wall-clock-in-core) -- deadline/backoff plumbing shapes availability only; no measurement result depends on the clock
+use std::time::{Duration, Instant};
 
 use crate::config::MeasurementConfig;
 use crate::exec::{Priority, PriorityPool, RunOptions};
 use crate::experiment::{self, EngineMode, ExperimentCtx, Scale};
+use crate::fault::{DiskFault, FaultPlan, FaultWriter};
 use crate::grid::Grid;
 use crate::measure::Record;
 use crate::wire::{self, GridMeta, Request, ServeStats, WireArtifact};
@@ -93,6 +110,10 @@ struct MemTier {
 pub struct CellCache {
     mem: Mutex<MemTier>,
     config: CacheConfig,
+    /// Fault-injection plan for disk writes; `None` in production.
+    fault: Option<Arc<FaultPlan>>,
+    /// Files moved aside by the startup recovery scan.
+    quarantined: u64,
     hits: AtomicU64,
     misses: AtomicU64,
     disk_hits: AtomicU64,
@@ -100,19 +121,27 @@ pub struct CellCache {
 }
 
 impl CellCache {
-    /// Creates the cache, creating the disk-tier directory if configured.
+    /// Creates the cache, creating the disk-tier directory if configured
+    /// and running the startup recovery scan over it: orphaned `tmp`
+    /// files (a writer crashed between write and rename) and entries
+    /// failing their header/checksum re-verification are moved into a
+    /// `quarantine/` subdirectory — kept for post-mortems, never served.
     ///
     /// # Errors
     ///
     /// [`CoreError::Serve`] if the directory cannot be created.
     pub fn new(config: CacheConfig) -> Result<Self> {
+        let mut quarantined = 0;
         if let Some(dir) = &config.dir {
             std::fs::create_dir_all(dir)
                 .map_err(|e| serr(format!("creating cache dir {}: {e}", dir.display())))?;
+            quarantined = recover_cache_dir(dir);
         }
         Ok(CellCache {
             mem: Mutex::new(MemTier::default()),
             config,
+            fault: None,
+            quarantined,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
@@ -223,16 +252,35 @@ impl CellCache {
         let Some(path) = self.entry_path(key) else {
             return;
         };
+        let fault = self.fault.as_ref().and_then(|plan| plan.disk_fault());
+        if fault == Some(DiskFault::Skip) {
+            // Injected transient write failure: the tier silently skips
+            // the entry, exactly like a real failed write below.
+            return;
+        }
         // Write-to-temp + rename so a crashed or concurrent writer can
         // never leave a half-entry under the final name. Disk-tier
         // failures are deliberately non-fatal: the server degrades to
         // memory-only caching rather than failing requests.
         let tmp = path.with_extension(format!("tmp.{:x}", std::process::id()));
-        let body = format!(
+        let mut body = format!(
             "{} {:016x}\n{payload}",
             wire::CACHE_MAGIC,
             wire::cache_checksum(payload)
-        );
+        )
+        .into_bytes();
+        match fault {
+            // Torn write: only a prefix survives the simulated crash.
+            Some(DiskFault::Torn) => body.truncate(body.len() / 2),
+            // Media corruption: flip one byte after checksumming, so
+            // the entry verifies false on read.
+            Some(DiskFault::Corrupt) => {
+                if let Some(byte) = body.last_mut() {
+                    *byte ^= 0x41;
+                }
+            }
+            Some(DiskFault::Skip) | None => {}
+        }
         if std::fs::write(&tmp, body).is_ok() && std::fs::rename(&tmp, &path).is_err() {
             let _ = std::fs::remove_file(&tmp);
         }
@@ -251,6 +299,12 @@ impl CellCache {
     /// Payload bytes currently resident in the memory tier.
     pub fn mem_bytes(&self) -> usize {
         self.lock_mem().bytes
+    }
+
+    /// Files the startup recovery scan moved into `quarantine/`
+    /// (orphaned tmp files and entries failing re-verification).
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined
     }
 
     fn counters(&self) -> (u64, u64, u64, u64) {
@@ -275,6 +329,48 @@ fn parse_disk_entry(raw: &str) -> Option<&str> {
     (sum == wire::cache_checksum(payload)).then_some(payload)
 }
 
+/// Startup recovery scan: moves orphaned `tmp` files (left by a writer
+/// that died between write and rename) and entries failing their
+/// header/checksum verification into `quarantine/`, returning how many
+/// files were moved. Quarantined files are kept for post-mortems but
+/// never served and never rescanned. Every step is best-effort: recovery
+/// may degrade to doing nothing, because the read path re-verifies every
+/// entry's checksum anyway — the scan exists so a crash's debris is
+/// dealt with once at boot instead of poisoning reads one by one.
+fn recover_cache_dir(dir: &Path) -> u64 {
+    let quarantine = dir.join("quarantine");
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut moved = 0;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            continue;
+        }
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else {
+            continue;
+        };
+        let orphan = name.contains(".tmp.");
+        let poisoned = name.ends_with(".cell")
+            && std::fs::read_to_string(&path)
+                .ok()
+                .as_deref()
+                .and_then(parse_disk_entry)
+                .is_none();
+        if !(orphan || poisoned) {
+            continue;
+        }
+        if std::fs::create_dir_all(&quarantine).is_ok()
+            && std::fs::rename(&path, quarantine.join(name)).is_ok()
+        {
+            moved += 1;
+        }
+    }
+    moved
+}
+
 // ---------------------------------------------------------------------------
 // Server
 // ---------------------------------------------------------------------------
@@ -288,6 +384,23 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Result-cache sizing and disk tier.
     pub cache: CacheConfig,
+    /// Per-connection socket read deadline in milliseconds (`0` = none).
+    pub read_timeout_ms: u64,
+    /// Per-connection socket write deadline in milliseconds (`0` = none).
+    pub write_timeout_ms: u64,
+    /// Per-request compute deadline for grid requests in milliseconds
+    /// (`0` = none). On expiry the request is shed with `BUSY` and its
+    /// unstarted cells abandoned.
+    pub request_deadline_ms: u64,
+    /// Maximum simultaneously live connections; the accept loop sheds
+    /// the excess with `BUSY` instead of queueing them.
+    pub max_connections: u64,
+    /// Worker-pool queue-depth cap: a grid needing compute while the
+    /// queue is already past this depth is shed with `BUSY` (degraded,
+    /// cache-only mode). Purely cached requests always succeed.
+    pub max_queue: usize,
+    /// Fault-injection plan for the chaos suite; `None` in production.
+    pub fault: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServeConfig {
@@ -296,6 +409,12 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 0,
             cache: CacheConfig::default(),
+            read_timeout_ms: 10_000,
+            write_timeout_ms: 10_000,
+            request_deadline_ms: 30_000,
+            max_connections: 64,
+            max_queue: 1024,
+            fault: None,
         }
     }
 }
@@ -307,6 +426,14 @@ struct ServerShared {
     stop: AtomicBool,
     requests: AtomicU64,
     grids: AtomicU64,
+    /// Live connection gauge, bounded by `max_connections`.
+    active: AtomicU64,
+    read_timeout_ms: u64,
+    write_timeout_ms: u64,
+    request_deadline_ms: u64,
+    max_connections: u64,
+    max_queue: usize,
+    fault: Option<Arc<FaultPlan>>,
 }
 
 impl ServerShared {
@@ -351,13 +478,22 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)
             .map_err(|e| serr(format!("binding {}: {e}", config.addr)))?;
         let addr = listener.local_addr().map_err(serr)?;
+        let mut cache = CellCache::new(config.cache)?;
+        cache.fault = config.fault.clone();
         let shared = Arc::new(ServerShared {
             pool: PriorityPool::new(config.workers),
-            cache: CellCache::new(config.cache)?,
+            cache,
             addr,
             stop: AtomicBool::new(false),
             requests: AtomicU64::new(0),
             grids: AtomicU64::new(0),
+            active: AtomicU64::new(0),
+            read_timeout_ms: config.read_timeout_ms,
+            write_timeout_ms: config.write_timeout_ms,
+            request_deadline_ms: config.request_deadline_ms,
+            max_connections: config.max_connections.max(1),
+            max_queue: config.max_queue,
+            fault: config.fault,
         });
         let accept_shared = Arc::clone(&shared);
         let acceptor = thread::Builder::new()
@@ -380,12 +516,26 @@ impl Server {
         self.shared.stats()
     }
 
+    /// Connections currently being handled. The chaos suite polls this
+    /// to prove the server drains to zero after a faulted soak (no
+    /// leaked handler threads); the value is advisory between reads.
+    pub fn active_connections(&self) -> u64 {
+        // countlint: allow(undocumented-relaxed-atomic) -- connection gauge; read only for shedding and drain diagnostics, no data is published under it
+        self.shared.active.load(Ordering::Relaxed)
+    }
+
+    /// Files the startup recovery scan quarantined from the disk tier.
+    pub fn quarantined(&self) -> u64 {
+        self.shared.cache.quarantined()
+    }
+
     /// Signals the accept loop to stop and joins it (and, transitively,
     /// every connection handler it spawned).
     pub fn stop(&mut self) {
         self.shared.stop.store(true, Ordering::SeqCst);
         // Poke the (possibly blocked) acceptor with a throwaway
         // connection so it observes the flag.
+        // countlint: allow(unbounded-stream-in-serve) -- connect-and-drop shutdown poke; no I/O follows, nothing to deadline
         let _ = TcpStream::connect(self.shared.addr);
         if let Some(handle) = self.acceptor.take() {
             let _ = handle.join();
@@ -409,6 +559,55 @@ impl Drop for Server {
     }
 }
 
+/// RAII increment of the live-connection gauge; the decrement in `Drop`
+/// runs however the handler exits (success, error, panic unwind), so the
+/// gauge can never leak upward and wedge the accept loop's cap check.
+struct ConnGuard {
+    shared: Arc<ServerShared>,
+}
+
+impl ConnGuard {
+    fn new(shared: Arc<ServerShared>) -> ConnGuard {
+        // countlint: allow(undocumented-relaxed-atomic) -- connection gauge; read only for shedding and drain diagnostics, no data is published under it
+        shared.active.fetch_add(1, Ordering::Relaxed);
+        ConnGuard { shared }
+    }
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        // countlint: allow(undocumented-relaxed-atomic) -- connection gauge; read only for shedding and drain diagnostics, no data is published under it
+        self.shared.active.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Converts a `0 = disabled` millisecond knob into a socket timeout.
+fn deadline_of(ms: u64) -> Option<Duration> {
+    (ms > 0).then(|| Duration::from_millis(ms))
+}
+
+/// Arms the per-connection socket deadlines. A connection we cannot
+/// bound is a connection we refuse to serve: one stuck peer must never
+/// pin a handler thread forever.
+fn apply_deadlines(stream: &TcpStream, read_ms: u64, write_ms: u64) -> Result<()> {
+    stream
+        .set_read_timeout(deadline_of(read_ms))
+        .map_err(|e| serr(format!("arming read deadline: {e}")))?;
+    stream
+        .set_write_timeout(deadline_of(write_ms))
+        .map_err(|e| serr(format!("arming write deadline: {e}")))?;
+    Ok(())
+}
+
+/// Refuses a connection over the cap with a typed `BUSY` response (best
+/// effort — a shed peer that also stalls just gets dropped).
+fn shed_connection(stream: TcpStream, write_ms: u64) {
+    let _ = stream.set_write_timeout(deadline_of(write_ms));
+    let mut writer = BufWriter::new(stream);
+    let _ = wire::write_busy_response(&mut writer, "connection cap reached; retry");
+    let _ = writer.flush();
+}
+
 fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
     let mut handlers: Vec<thread::JoinHandle<()>> = Vec::new();
     while !shared.stop.load(Ordering::SeqCst) {
@@ -418,10 +617,22 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
         if shared.stop.load(Ordering::SeqCst) {
             break; // `stream` is the shutdown poke.
         }
+        // Load-shed above the connection cap rather than queueing
+        // unboundedly: a typed BUSY tells well-behaved clients to back
+        // off and retry.
+        // countlint: allow(undocumented-relaxed-atomic) -- connection gauge; read only for shedding and drain diagnostics, no data is published under it
+        if shared.active.load(Ordering::Relaxed) >= shared.max_connections {
+            shed_connection(stream, shared.write_timeout_ms);
+            continue;
+        }
+        let guard = ConnGuard::new(Arc::clone(shared));
         let shared = Arc::clone(shared);
         if let Ok(handle) = thread::Builder::new()
             .name("countd-conn".to_string())
-            .spawn(move || handle_connection(stream, &shared))
+            .spawn(move || {
+                let _guard = guard;
+                handle_connection(stream, &shared);
+            })
         {
             handlers.push(handle);
         }
@@ -436,11 +647,18 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
 
 fn handle_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
     let _ = stream.set_nodelay(true);
+    if apply_deadlines(&stream, shared.read_timeout_ms, shared.write_timeout_ms).is_err() {
+        return;
+    }
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
     let mut reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(stream);
+    // One wire-fault decision per connection, drawn up front so the
+    // whole response frame sees a consistent failure (a truncation
+    // mid-header, a garbage prefix, a stall, a reset).
+    let wire_fault = shared.fault.as_ref().and_then(|plan| plan.wire_fault());
+    let mut writer = BufWriter::new(FaultWriter::new(stream, wire_fault));
     let request = match wire::read_request(&mut reader) {
         Ok(request) => request,
         Err(e) => {
@@ -468,8 +686,15 @@ fn handle_connection(stream: TcpStream, shared: &Arc<ServerShared>) {
             streaming,
         } => handle_experiment(&mut writer, &id, &scale, streaming),
     };
+    // Shed outcomes go out as the typed retryable BUSY; everything else
+    // as a deterministic (fatal-to-retry) ERR. Either way the failure is
+    // confined to this connection.
     if let Err(e) = outcome {
-        let _ = wire::write_error_response(&mut writer, &e);
+        if let CoreError::Busy(reason) = &e {
+            let _ = wire::write_busy_response(&mut writer, reason);
+        } else {
+            let _ = wire::write_error_response(&mut writer, &e);
+        }
     }
     let _ = writer.flush();
 }
@@ -503,41 +728,105 @@ fn handle_grid<W: Write>(
         .map(|(i, (_, (&key, &cell)))| (i, key, cell))
         .collect();
 
+    // Degraded, cache-only mode: when the pool is already saturated,
+    // requests answerable from cache alone still succeed (the lookups
+    // above), but requests needing compute are shed with a retryable
+    // BUSY instead of queueing unboundedly behind the backlog. The cap
+    // gates on the *existing* backlog, not the request's own size — a
+    // large cold grid on an idle pool is legitimate work, while any
+    // request arriving behind a saturated queue is pile-up.
+    if !missing.is_empty() {
+        let queued = shared.pool.queued();
+        if queued > shared.max_queue {
+            return Err(CoreError::Busy(format!(
+                "worker pool saturated ({queued} jobs queued, cap {}); \
+                 shedding compute (cache-only degraded mode)",
+                shared.max_queue
+            )));
+        }
+    }
+
     // Compute every miss as one job on the shared pool; an interactive
-    // request's cells jump ahead of queued bulk cells.
-    let (tx, rx) = mpsc::channel::<(usize, u64, Result<String>)>();
+    // request's cells jump ahead of queued bulk cells. Jobs write the
+    // cache themselves, so cells finished after this request abandons
+    // them (deadline shed below) still warm the cache for the retry.
+    let (tx, rx) = mpsc::channel::<(usize, Result<Arc<String>>)>();
     let grid = Arc::new(grid.clone());
+    let cancel = Arc::new(AtomicBool::new(false));
     for &(i, key, cell) in &missing {
         let tx = tx.clone();
         let grid = Arc::clone(&grid);
+        let cancel = Arc::clone(&cancel);
+        let job_shared = Arc::clone(shared);
+        // Worker-fault decisions are drawn here, on the handler thread,
+        // where cell enumeration order is deterministic — not in the
+        // racing workers.
+        let injected = shared.fault.as_ref().is_some_and(|plan| plan.worker_fault());
         shared.pool.submit(priority, move || {
-            let payload = grid.run_cell(&cell).map(|records| {
-                let mut block = String::new();
-                for record in &records {
-                    block.push_str(&wire::encode_record(record));
-                }
-                block
-            });
-            let _ = tx.send((i, key, payload));
+            // countlint: allow(undocumented-relaxed-atomic) -- cancel is a monotone abandon flag; a stale read only delays the shed, never corrupts it
+            if cancel.load(Ordering::Relaxed) {
+                return; // request already shed; don't waste the pool
+            }
+            let payload = if injected {
+                Err(CoreError::Busy("injected transient worker fault".to_string()))
+            } else {
+                grid.run_cell(&cell).map(|records| {
+                    let mut block = String::new();
+                    for record in &records {
+                        block.push_str(&wire::encode_record(record));
+                    }
+                    Arc::new(block)
+                })
+            };
+            if let Ok(block) = &payload {
+                job_shared.cache.put(key, Arc::clone(block));
+            }
+            let _ = tx.send((i, payload));
         });
     }
     drop(tx);
+    // Collect under the per-request compute deadline: on expiry the
+    // remaining cells are abandoned (the cancel flag keeps unstarted
+    // jobs from wasting workers) and the request is shed with BUSY.
+    // countlint: allow(wall-clock-in-core) -- request deadline accounting shapes availability only; no measurement result depends on the clock
+    let started = Instant::now();
+    let deadline = deadline_of(shared.request_deadline_ms);
     let mut first_error: Option<(usize, CoreError)> = None;
-    for (i, key, outcome) in rx {
-        match outcome {
-            Ok(block) => {
-                let payload = Arc::new(block);
-                shared.cache.put(key, Arc::clone(&payload));
+    let mut outstanding = missing.len();
+    while outstanding > 0 {
+        let received = match deadline {
+            None => rx.recv().map_err(|_| mpsc::RecvTimeoutError::Disconnected),
+            // A saturating_sub that has hit zero still drains already-
+            // delivered results before reporting Timeout.
+            Some(limit) => rx.recv_timeout(limit.saturating_sub(started.elapsed())),
+        };
+        match received {
+            Ok((i, Ok(payload))) => {
+                outstanding -= 1;
                 if let Some(slot) = payloads.get_mut(i) {
                     *slot = Some(payload);
                 }
             }
             // Lowest cell index wins, matching the deterministic
             // error-reporting rule of the local engine.
-            Err(e) if first_error.as_ref().is_none_or(|(j, _)| i < *j) => {
-                first_error = Some((i, e));
+            Ok((i, Err(e))) => {
+                outstanding -= 1;
+                if first_error.as_ref().is_none_or(|(j, _)| i < *j) {
+                    first_error = Some((i, e));
+                }
             }
-            Err(_) => {}
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                cancel.store(true, Ordering::SeqCst);
+                return Err(CoreError::Busy(format!(
+                    "request deadline of {}ms exceeded with {outstanding} cells outstanding; shed",
+                    shared.request_deadline_ms
+                )));
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                return Err(CoreError::Busy(format!(
+                    "worker pool shut down with {outstanding} cells outstanding"
+                )));
+            }
         }
     }
     if let Some((_, e)) = first_error {
@@ -586,10 +875,107 @@ fn handle_experiment<W: Write>(writer: &mut W, id: &str, scale: &str, streaming:
 // Client
 // ---------------------------------------------------------------------------
 
-fn connect(addr: &str) -> Result<TcpStream> {
-    let stream = TcpStream::connect(addr).map_err(|e| serr(format!("connecting {addr}: {e}")))?;
-    let _ = stream.set_nodelay(true);
-    Ok(stream)
+/// Client-side robustness knobs shared by every `request_*_with` call:
+/// how often to retry, how long to keep trying overall, and the socket
+/// deadlines of each attempt. The defaults ([`CallOptions::default`])
+/// are what the plain `request_*` functions use.
+///
+/// Retrying is always safe here: every countd request is idempotent by
+/// construction (measurements are pure functions of their cell
+/// identity), so the retry layer asks only whether a failure is worth
+/// retrying ([`CoreError::is_retryable`]), never whether it is safe.
+#[derive(Debug, Clone)]
+pub struct CallOptions {
+    /// Retries after the first attempt (`0` = single attempt).
+    pub retries: u32,
+    /// Overall deadline across all attempts and backoff sleeps, in
+    /// milliseconds (`0` = none).
+    pub deadline_ms: u64,
+    /// Base backoff in milliseconds; attempt `n` sleeps
+    /// `base * 2^n` plus seeded jitter in `[0, base)`.
+    pub backoff_base_ms: u64,
+    /// Seed for the backoff jitter — same seed, same sleep schedule,
+    /// which is what makes chaos runs reproducible end to end.
+    pub seed: u64,
+    /// Per-attempt socket connect/read/write deadline in milliseconds
+    /// (`0` = none).
+    pub socket_timeout_ms: u64,
+}
+
+impl Default for CallOptions {
+    fn default() -> Self {
+        CallOptions {
+            retries: 2,
+            deadline_ms: 30_000,
+            backoff_base_ms: 25,
+            seed: 0x6121,
+            socket_timeout_ms: 10_000,
+        }
+    }
+}
+
+/// Runs `attempt` under the retry policy: retryable failures are retried
+/// with seeded exponential backoff until the retry budget or the overall
+/// deadline runs out; fatal failures and successes return immediately.
+fn with_retry<T>(opts: &CallOptions, mut attempt: impl FnMut() -> Result<T>) -> Result<T> {
+    use counterlab_cpu::hash::{seed_combine, splitmix64};
+    // countlint: allow(wall-clock-in-core) -- retry deadline accounting shapes availability only; no measurement result depends on the clock
+    let started = Instant::now();
+    let deadline = deadline_of(opts.deadline_ms);
+    let mut tries = 0u32;
+    loop {
+        let err = match attempt() {
+            Ok(value) => return Ok(value),
+            Err(e) => e,
+        };
+        let budget_left = deadline.is_none_or(|limit| started.elapsed() < limit);
+        if !err.is_retryable() || tries >= opts.retries || !budget_left {
+            return Err(err);
+        }
+        let base = opts.backoff_base_ms.max(1);
+        let jitter = splitmix64(seed_combine(opts.seed, u64::from(tries))) % base;
+        let mut sleep = base
+            .saturating_mul(1u64 << tries.min(10))
+            .saturating_add(jitter);
+        if let Some(limit) = deadline {
+            let left = limit.saturating_sub(started.elapsed());
+            sleep = sleep.min(u64::try_from(left.as_millis()).unwrap_or(u64::MAX));
+        }
+        thread::sleep(Duration::from_millis(sleep));
+        tries += 1;
+    }
+}
+
+/// Connects with per-attempt socket deadlines armed on every half.
+fn connect_with(addr: &str, opts: &CallOptions) -> Result<TcpStream> {
+    let timeout = deadline_of(opts.socket_timeout_ms);
+    let addrs = addr
+        .to_socket_addrs()
+        .map_err(|e| serr(format!("resolving {addr}: {e}")))?;
+    let mut last: Option<std::io::Error> = None;
+    for resolved in addrs {
+        let connected = match timeout {
+            Some(limit) => TcpStream::connect_timeout(&resolved, limit),
+            None => TcpStream::connect(resolved),
+        };
+        match connected {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                stream
+                    .set_read_timeout(timeout)
+                    .map_err(|e| serr(format!("arming read deadline: {e}")))?;
+                stream
+                    .set_write_timeout(timeout)
+                    .map_err(|e| serr(format!("arming write deadline: {e}")))?;
+                return Ok(stream);
+            }
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(match last {
+        Some(e) => serr(format!("connecting {addr}: {e}")),
+        None => serr(format!("connecting {addr}: no addresses resolved")),
+    })
 }
 
 fn split_stream(stream: TcpStream) -> Result<(BufReader<TcpStream>, BufWriter<TcpStream>)> {
@@ -614,37 +1000,54 @@ pub fn auto_priority(grid: &Grid) -> Priority {
 /// # Errors
 ///
 /// [`CoreError::Serve`] on connection failure, [`CoreError::Protocol`]
-/// on malformed responses or server-reported errors.
+/// on malformed responses or server-reported errors, [`CoreError::Busy`]
+/// when the server shed the request and the retry budget ran out.
 pub fn request_grid_raw(addr: &str, grid: &Grid, priority: Priority) -> Result<(GridMeta, String)> {
-    let (mut reader, mut writer) = split_stream(connect(addr)?)?;
-    wire::write_grid_request(&mut writer, grid, priority).map_err(serr)?;
-    writer.flush().map_err(serr)?;
-    let head = wire::read_response_head(&mut reader)?;
-    if head.kind != "grid" {
-        return Err(CoreError::Protocol(format!(
-            "expected kind=grid, got {:?}",
-            head.kind
-        )));
-    }
-    let meta = head.grid_meta()?;
-    let mut body = String::new();
-    let mut lines = 0usize;
-    loop {
-        let line = read_body_line(&mut reader)?;
-        if line == "." {
-            break;
+    request_grid_raw_with(addr, grid, priority, &CallOptions::default())
+}
+
+/// [`request_grid_raw`] under an explicit retry policy.
+///
+/// # Errors
+///
+/// As [`request_grid_raw`].
+pub fn request_grid_raw_with(
+    addr: &str,
+    grid: &Grid,
+    priority: Priority,
+    opts: &CallOptions,
+) -> Result<(GridMeta, String)> {
+    with_retry(opts, || {
+        let (mut reader, mut writer) = split_stream(connect_with(addr, opts)?)?;
+        wire::write_grid_request(&mut writer, grid, priority).map_err(serr)?;
+        writer.flush().map_err(serr)?;
+        let head = wire::read_response_head(&mut reader)?;
+        if head.kind != "grid" {
+            return Err(CoreError::Protocol(format!(
+                "expected kind=grid, got {:?}",
+                head.kind
+            )));
         }
-        lines += 1;
-        body.push_str(&line);
-        body.push('\n');
-    }
-    if lines != meta.records {
-        return Err(CoreError::Protocol(format!(
-            "grid body has {lines} records, header promised {}",
-            meta.records
-        )));
-    }
-    Ok((meta, body))
+        let meta = head.grid_meta()?;
+        let mut body = String::new();
+        let mut lines = 0usize;
+        loop {
+            let line = wire::read_line(&mut reader)?;
+            if line == "." {
+                break;
+            }
+            lines += 1;
+            body.push_str(&line);
+            body.push('\n');
+        }
+        if lines != meta.records {
+            return Err(CoreError::Protocol(format!(
+                "grid body has {lines} records, header promised {}",
+                meta.records
+            )));
+        }
+        Ok((meta, body))
+    })
 }
 
 /// Requests a grid and decodes the records (in the same deterministic
@@ -654,7 +1057,21 @@ pub fn request_grid_raw(addr: &str, grid: &Grid, priority: Priority) -> Result<(
 ///
 /// As [`request_grid_raw`], plus decode failures.
 pub fn request_grid(addr: &str, grid: &Grid, priority: Priority) -> Result<(GridMeta, Vec<Record>)> {
-    let (meta, body) = request_grid_raw(addr, grid, priority)?;
+    request_grid_with(addr, grid, priority, &CallOptions::default())
+}
+
+/// [`request_grid`] under an explicit retry policy.
+///
+/// # Errors
+///
+/// As [`request_grid`].
+pub fn request_grid_with(
+    addr: &str,
+    grid: &Grid,
+    priority: Priority,
+    opts: &CallOptions,
+) -> Result<(GridMeta, Vec<Record>)> {
+    let (meta, body) = request_grid_raw_with(addr, grid, priority, opts)?;
     let mut records = Vec::with_capacity(meta.records);
     for line in body.lines() {
         records.push(wire::decode_record(line)?);
@@ -668,11 +1085,22 @@ pub fn request_grid(addr: &str, grid: &Grid, priority: Priority) -> Result<(Grid
 ///
 /// Connection and protocol failures.
 pub fn request_stats(addr: &str) -> Result<ServeStats> {
-    let (mut reader, mut writer) = split_stream(connect(addr)?)?;
-    wire::write_plain_request(&mut writer, "STATS").map_err(serr)?;
-    writer.flush().map_err(serr)?;
-    let head = wire::read_response_head(&mut reader)?;
-    ServeStats::from_head(&head)
+    request_stats_with(addr, &CallOptions::default())
+}
+
+/// [`request_stats`] under an explicit retry policy.
+///
+/// # Errors
+///
+/// As [`request_stats`].
+pub fn request_stats_with(addr: &str, opts: &CallOptions) -> Result<ServeStats> {
+    with_retry(opts, || {
+        let (mut reader, mut writer) = split_stream(connect_with(addr, opts)?)?;
+        wire::write_plain_request(&mut writer, "STATS").map_err(serr)?;
+        writer.flush().map_err(serr)?;
+        let head = wire::read_response_head(&mut reader)?;
+        ServeStats::from_head(&head)
+    })
 }
 
 /// Liveness check.
@@ -681,17 +1109,28 @@ pub fn request_stats(addr: &str) -> Result<ServeStats> {
 ///
 /// Connection and protocol failures, or a non-pong answer.
 pub fn request_ping(addr: &str) -> Result<()> {
-    let (mut reader, mut writer) = split_stream(connect(addr)?)?;
-    wire::write_plain_request(&mut writer, "PING").map_err(serr)?;
-    writer.flush().map_err(serr)?;
-    let head = wire::read_response_head(&mut reader)?;
-    if head.kind != "pong" {
-        return Err(CoreError::Protocol(format!(
-            "expected kind=pong, got {:?}",
-            head.kind
-        )));
-    }
-    Ok(())
+    request_ping_with(addr, &CallOptions::default())
+}
+
+/// [`request_ping`] under an explicit retry policy.
+///
+/// # Errors
+///
+/// As [`request_ping`].
+pub fn request_ping_with(addr: &str, opts: &CallOptions) -> Result<()> {
+    with_retry(opts, || {
+        let (mut reader, mut writer) = split_stream(connect_with(addr, opts)?)?;
+        wire::write_plain_request(&mut writer, "PING").map_err(serr)?;
+        writer.flush().map_err(serr)?;
+        let head = wire::read_response_head(&mut reader)?;
+        if head.kind != "pong" {
+            return Err(CoreError::Protocol(format!(
+                "expected kind=pong, got {:?}",
+                head.kind
+            )));
+        }
+        Ok(())
+    })
 }
 
 /// Asks the server to shut down (it finishes in-flight requests first).
@@ -700,17 +1139,30 @@ pub fn request_ping(addr: &str) -> Result<()> {
 ///
 /// Connection and protocol failures.
 pub fn request_shutdown(addr: &str) -> Result<()> {
-    let (mut reader, mut writer) = split_stream(connect(addr)?)?;
-    wire::write_plain_request(&mut writer, "SHUTDOWN").map_err(serr)?;
-    writer.flush().map_err(serr)?;
-    let head = wire::read_response_head(&mut reader)?;
-    if head.kind != "bye" {
-        return Err(CoreError::Protocol(format!(
-            "expected kind=bye, got {:?}",
-            head.kind
-        )));
-    }
-    Ok(())
+    request_shutdown_with(addr, &CallOptions::default())
+}
+
+/// [`request_shutdown`] under an explicit retry policy. (Shutdown is
+/// idempotent like everything else: re-asking a stopping server to stop
+/// is harmless.)
+///
+/// # Errors
+///
+/// As [`request_shutdown`].
+pub fn request_shutdown_with(addr: &str, opts: &CallOptions) -> Result<()> {
+    with_retry(opts, || {
+        let (mut reader, mut writer) = split_stream(connect_with(addr, opts)?)?;
+        wire::write_plain_request(&mut writer, "SHUTDOWN").map_err(serr)?;
+        writer.flush().map_err(serr)?;
+        let head = wire::read_response_head(&mut reader)?;
+        if head.kind != "bye" {
+            return Err(CoreError::Protocol(format!(
+                "expected kind=bye, got {:?}",
+                head.kind
+            )));
+        }
+        Ok(())
+    })
 }
 
 /// Runs a registered experiment on the server and returns its artifacts.
@@ -725,30 +1177,34 @@ pub fn request_experiment(
     scale: &str,
     streaming: bool,
 ) -> Result<Vec<WireArtifact>> {
-    let (mut reader, mut writer) = split_stream(connect(addr)?)?;
-    wire::write_experiment_request(&mut writer, id, scale, streaming).map_err(serr)?;
-    writer.flush().map_err(serr)?;
-    let head = wire::read_response_head(&mut reader)?;
-    if head.kind != "report" {
-        return Err(CoreError::Protocol(format!(
-            "expected kind=report, got {:?}",
-            head.kind
-        )));
-    }
-    wire::read_artifacts(&mut reader)
+    request_experiment_with(addr, id, scale, streaming, &CallOptions::default())
 }
 
-fn read_body_line(reader: &mut BufReader<TcpStream>) -> Result<String> {
-    use std::io::BufRead;
-    let mut line = String::new();
-    let n = reader.read_line(&mut line).map_err(serr)?;
-    if n == 0 {
-        return Err(CoreError::Protocol("unexpected end of stream".to_string()));
-    }
-    if line.ends_with('\n') {
-        line.pop();
-    }
-    Ok(line)
+/// [`request_experiment`] under an explicit retry policy.
+///
+/// # Errors
+///
+/// As [`request_experiment`].
+pub fn request_experiment_with(
+    addr: &str,
+    id: &str,
+    scale: &str,
+    streaming: bool,
+    opts: &CallOptions,
+) -> Result<Vec<WireArtifact>> {
+    with_retry(opts, || {
+        let (mut reader, mut writer) = split_stream(connect_with(addr, opts)?)?;
+        wire::write_experiment_request(&mut writer, id, scale, streaming).map_err(serr)?;
+        writer.flush().map_err(serr)?;
+        let head = wire::read_response_head(&mut reader)?;
+        if head.kind != "report" {
+            return Err(CoreError::Protocol(format!(
+                "expected kind=report, got {:?}",
+                head.kind
+            )));
+        }
+        wire::read_artifacts(&mut reader)
+    })
 }
 
 /// Corrupts one byte of an on-disk cache entry — test-support for the
@@ -876,17 +1332,89 @@ mod tests {
         assert_eq!(cache.get(0xABC).unwrap().as_str(), payload);
         assert_eq!(cache.counters().2, 1, "one disk hit");
 
-        // Corrupt the entry: a fresh cache must detect, count and recompute.
+        // Corrupt the entry *after* boot (past the startup recovery
+        // scan): the read path must detect, count and drop it.
         let path = dir.join(format!("{:016x}.cell", 0xABCu64));
-        corrupt_disk_entry(&path).unwrap();
         let cache = CellCache::new(CacheConfig {
             dir: Some(dir.clone()),
             ..CacheConfig::default()
         })
         .unwrap();
+        corrupt_disk_entry(&path).unwrap();
         assert!(cache.get(0xABC).is_none(), "corrupt entry must not be served");
         assert_eq!(cache.counters().3, 1, "poisoning detected and counted");
         assert!(!path.exists(), "corrupt entry removed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_scan_quarantines_orphaned_tmp_files() {
+        let dir = std::env::temp_dir().join(format!("countd-recover-tmp-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Debris of a writer that died between write and rename.
+        let orphan = dir.join(format!("{:016x}.tmp.dead", 0xABCu64));
+        std::fs::write(&orphan, "half-written").unwrap();
+        let cache = CellCache::new(CacheConfig {
+            dir: Some(dir.clone()),
+            ..CacheConfig::default()
+        })
+        .unwrap();
+        assert_eq!(cache.quarantined(), 1, "orphan counted");
+        assert!(!orphan.exists(), "orphan moved out of the live tier");
+        assert!(
+            dir.join("quarantine")
+                .join(format!("{:016x}.tmp.dead", 0xABCu64))
+                .exists(),
+            "orphan kept for post-mortems"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_scan_quarantines_truncated_and_corrupt_entries() {
+        let dir = std::env::temp_dir().join(format!("countd-recover-bad-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let payload = "PD,pm,sr,0,1,1,user,cycles,7,0,null,0,5,1\n";
+        {
+            let cache = CellCache::new(CacheConfig {
+                dir: Some(dir.clone()),
+                ..CacheConfig::default()
+            })
+            .unwrap();
+            cache.put(0x111, Arc::new(payload.to_string()));
+            cache.put(0x222, Arc::new(payload.to_string()));
+            cache.put(0x333, Arc::new(payload.to_string()));
+        }
+        // Simulate a crash mid-write (truncation) and bit rot (checksum
+        // mismatch); the third entry stays intact.
+        let torn = dir.join(format!("{:016x}.cell", 0x111u64));
+        let raw = std::fs::read(&torn).unwrap();
+        std::fs::write(&torn, &raw[..raw.len() / 2]).unwrap();
+        let rotten = dir.join(format!("{:016x}.cell", 0x222u64));
+        corrupt_disk_entry(&rotten).unwrap();
+
+        let cache = CellCache::new(CacheConfig {
+            dir: Some(dir.clone()),
+            ..CacheConfig::default()
+        })
+        .unwrap();
+        assert_eq!(cache.quarantined(), 2, "both damaged entries quarantined");
+        assert!(!torn.exists() && !rotten.exists());
+        assert!(
+            cache.get(0x111).is_none() && cache.get(0x222).is_none(),
+            "damaged entries become misses (recomputed), never served"
+        );
+        assert_eq!(cache.get(0x333).unwrap().as_str(), payload, "intact entry survives");
+        assert_eq!(cache.counters().3, 0, "boot-time debris never counts as read poisoning");
+
+        // A reboot must not rescan (or double-count) the quarantine.
+        let cache = CellCache::new(CacheConfig {
+            dir: Some(dir.clone()),
+            ..CacheConfig::default()
+        })
+        .unwrap();
+        assert_eq!(cache.quarantined(), 0, "quarantine is not rescanned");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -132,6 +132,25 @@ impl std::fmt::Display for WireError {
     }
 }
 
+impl WireError {
+    /// Whether a call failing with this decode error is safe to retry.
+    ///
+    /// Every `WireError` variant describes bytes that *cannot* have come
+    /// from a correct peer speaking version 1, so each is evidence of
+    /// corruption or truncation in flight rather than a deterministic
+    /// answer — and because measurements are pure functions of their
+    /// cell identity, a retry is idempotent. All variants are therefore
+    /// classified retryable (the match stays exhaustive so a future
+    /// variant forces a fresh classification).
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            WireError::CountOverflow { .. }
+            | WireError::InconsistentMeta { .. }
+            | WireError::FrameTooLarge { .. } => true,
+        }
+    }
+}
+
 impl From<WireError> for CoreError {
     fn from(e: WireError) -> CoreError {
         CoreError::Protocol(e.to_string())
@@ -602,6 +621,19 @@ pub fn write_error_response<W: Write>(w: &mut W, error: &dyn std::fmt::Display) 
     writeln!(w, "{MAGIC} ERR {msg}")
 }
 
+/// Writes a `BUSY` load-shedding response line: the server is healthy
+/// but declined the request (connection cap, saturated pool, request
+/// deadline). The peer's response reader turns it into a typed,
+/// retryable [`CoreError::Busy`]. `reason` is flattened to one line.
+///
+/// # Errors
+///
+/// Socket I/O errors.
+pub fn write_busy_response<W: Write>(w: &mut W, reason: &str) -> io::Result<()> {
+    let flat = reason.replace(['\n', '\r'], " ");
+    writeln!(w, "{MAGIC} BUSY retryable=true reason={flat}")
+}
+
 /// A parsed `OK` response header: the `kind` plus its key-value fields.
 #[derive(Debug)]
 pub struct ResponseHead {
@@ -677,6 +709,12 @@ pub fn read_response_head<R: BufRead>(r: &mut R) -> Result<ResponseHead> {
         .trim_start();
     if let Some(msg) = rest.strip_prefix("ERR ") {
         return Err(proto(format!("server: {msg}")));
+    }
+    if let Some(shed) = rest.strip_prefix("BUSY ") {
+        let reason = shed
+            .strip_prefix("retryable=true reason=")
+            .ok_or_else(|| proto(format!("malformed BUSY response: {line:?}")))?;
+        return Err(CoreError::Busy(reason.to_string()));
     }
     let args = rest
         .strip_prefix("OK")
@@ -789,18 +827,38 @@ impl ServeStats {
 
 /// Reads one `\n`-terminated line, without the newline. EOF is an error
 /// (the protocol always knows when more is expected).
-fn read_line<R: BufRead>(r: &mut R) -> Result<String> {
-    let mut line = String::new();
+///
+/// The [`MAX_FRAME_BYTES`] cap is enforced *incrementally* via a
+/// [`std::io::Read::take`] adapter: a peer streaming an endless
+/// newline-free line is cut off at the cap with
+/// [`WireError::FrameTooLarge`] instead of ballooning the buffer first
+/// and checking after. Shared with `serve`'s body reader so every line
+/// read in the protocol is bounded the same way.
+pub(crate) fn read_line<R: BufRead>(r: &mut R) -> Result<String> {
+    use std::io::Read;
+    let mut buf = Vec::new();
     let n = r
-        .read_line(&mut line)
+        .by_ref()
+        .take(MAX_FRAME_BYTES.saturating_add(1))
+        .read_until(b'\n', &mut buf)
         .map_err(|e| CoreError::Serve(format!("read: {e}")))?;
     if n == 0 {
         return Err(proto("unexpected end of stream".to_string()));
     }
-    if line.ends_with('\n') {
-        line.pop();
+    let ended = buf.last() == Some(&b'\n');
+    if ended {
+        buf.pop();
     }
-    Ok(line)
+    let len = u64::try_from(buf.len()).unwrap_or(u64::MAX);
+    if !ended && len > MAX_FRAME_BYTES {
+        return Err(WireError::FrameTooLarge {
+            what: "line",
+            len,
+            max: MAX_FRAME_BYTES,
+        }
+        .into());
+    }
+    String::from_utf8(buf).map_err(|_| proto("line is not valid UTF-8".to_string()))
 }
 
 // ---------------------------------------------------------------------------
@@ -1257,6 +1315,45 @@ mod tests {
 
         let mut r = io::BufReader::new(&b"COUNTD/1 OK cells=3\n"[..]);
         assert!(read_response_head(&mut r).is_err(), "kind is mandatory");
+    }
+
+    #[test]
+    fn busy_response_roundtrips_as_retryable_busy() {
+        let mut buf = Vec::new();
+        write_busy_response(&mut buf, "pool saturated;\nretry later").unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(
+            !text.trim_end_matches('\n').contains('\n'),
+            "reason is flattened to one frame line: {text:?}"
+        );
+        let err = read_response_head(&mut io::BufReader::new(&buf[..])).unwrap_err();
+        assert!(
+            matches!(&err, CoreError::Busy(r) if r.contains("pool saturated")),
+            "{err}"
+        );
+        assert!(err.is_retryable(), "BUSY is the retryable shed signal");
+
+        // A malformed BUSY frame is a protocol error, not a silent pass.
+        let mut r = io::BufReader::new(&b"COUNTD/1 BUSY nope\n"[..]);
+        let err = read_response_head(&mut r).unwrap_err();
+        assert!(matches!(err, CoreError::Protocol(_)), "{err}");
+    }
+
+    #[test]
+    fn read_line_rejects_endless_unterminated_frames() {
+        // A peer streaming bytes with no newline must cost at most one
+        // frame of memory before being rejected — the reader enforces
+        // MAX_FRAME_BYTES incrementally via `take`, it never balloons.
+        let mut r = io::BufReader::new(io::repeat(b'a'));
+        let err = read_line(&mut r).unwrap_err();
+        assert!(err.to_string().contains("exceeds"), "{err}");
+        assert!(err.is_retryable(), "an oversized line reads as wire corruption");
+
+        // Terminated lines inside the cap still read fine (sans newline).
+        let mut r = io::BufReader::new(&b"hello\nworld\n"[..]);
+        assert_eq!(read_line(&mut r).unwrap(), "hello");
+        assert_eq!(read_line(&mut r).unwrap(), "world");
+        assert!(read_line(&mut r).is_err(), "EOF is an error, not a hang");
     }
 
     #[test]

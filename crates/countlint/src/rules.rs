@@ -48,6 +48,7 @@ pub fn registry() -> &'static [&'static dyn Rule] {
         &UnregisteredExperiment,
         &EnumWireDrift,
         &NestedLockInServe,
+        &UnboundedStreamInServe,
         &UnusedPragma,
         &PragmaHygiene,
     ]
@@ -782,6 +783,118 @@ impl Rule for NestedLockInServe {
 }
 
 // ---------------------------------------------------------------------------
+// unbounded-stream-in-serve
+// ---------------------------------------------------------------------------
+
+/// Requires every socket endpoint in serve.rs to be reachable from a
+/// deadline-arming call.
+pub struct UnboundedStreamInServe;
+
+impl UnboundedStreamInServe {
+    /// Whether this line arms a socket deadline.
+    fn line_sets_deadline(code: &str) -> bool {
+        line_has_seq(code, &[".", "set_read_timeout", "("])
+            || line_has_seq(code, &[".", "set_write_timeout", "("])
+    }
+
+    /// Whether this line opens a socket endpoint: `TcpStream::connect`
+    /// (not `connect_timeout`, which is bounded by construction) or an
+    /// `.accept(`/`.incoming(` call on a listener.
+    fn line_opens_endpoint(code: &str) -> bool {
+        if line_has_seq(code, &["TcpStream", ":", ":", "connect"]) {
+            return true;
+        }
+        let toks = tokens(code);
+        toks.iter()
+            .enumerate()
+            .any(|(i, _)| is_method_call(&toks, i, "accept") || is_method_call(&toks, i, "incoming"))
+    }
+}
+
+impl Rule for UnboundedStreamInServe {
+    fn id(&self) -> &'static str {
+        "unbounded-stream-in-serve"
+    }
+    fn summary(&self) -> &'static str {
+        "TcpStream opened in serve.rs with no reachable set_read_timeout/set_write_timeout"
+    }
+    fn rationale(&self) -> &'static str {
+        "A socket without deadlines hands flow control to the peer: one client that stops \
+         reading (or writing) parks a handler thread forever, and enough of them wedge the \
+         daemon with no panic and no backtrace — the exact failure the chaos suite's \
+         slow-client probe exercises. Every function that connects or accepts must arm \
+         read/write deadlines itself or call (transitively) a helper that does; \
+         pragma-justify the rare endpoint with provably no subsequent I/O (e.g. the \
+         shutdown wake-up poke)."
+    }
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        let Some(wf) = ws.file(SERVE_FILE) else {
+            return Vec::new();
+        };
+        let fns: Vec<_> = wf.fns().collect();
+        let code_lines = |lo: usize, hi: usize| {
+            wf.source
+                .lines
+                .iter()
+                .filter(move |l| !l.in_test && l.number >= lo && l.number <= hi)
+        };
+
+        // Deadline-arming fns: a set_*_timeout call in the body, then the
+        // transitive closure over file-local calls (a fn that calls a
+        // bounded helper is itself bounded).
+        let mut bounded: BTreeSet<&str> = fns
+            .iter()
+            .filter(|f| code_lines(f.line, f.end_line).any(|l| Self::line_sets_deadline(&l.code)))
+            .map(|f| f.name.as_str())
+            .collect();
+        loop {
+            let mut grew = false;
+            for f in &fns {
+                if bounded.contains(f.name.as_str()) {
+                    continue;
+                }
+                let calls_bounded = code_lines(f.line, f.end_line).any(|l| {
+                    let toks = tokens(&l.code);
+                    toks.iter().enumerate().any(|(i, t)| {
+                        t.is_word
+                            && bounded.contains(t.text)
+                            && toks.get(i + 1).is_some_and(|nx| nx.text == "(")
+                            && i.checked_sub(1).map(|j| toks[j].text) != Some("fn")
+                    })
+                });
+                if calls_bounded {
+                    bounded.insert(f.name.as_str());
+                    grew = true;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+
+        let mut out = Vec::new();
+        for f in fns.iter().filter(|f| !bounded.contains(f.name.as_str())) {
+            for line in code_lines(f.line, f.end_line) {
+                if Self::line_opens_endpoint(&line.code) {
+                    out.push(finding(
+                        &wf.source.path,
+                        self.id(),
+                        line.number,
+                        format!(
+                            "TcpStream used in `{}` without a reachable \
+                             set_read_timeout/set_write_timeout; unbounded socket I/O can \
+                             hang the serving path",
+                            f.name
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
 // unused-pragma
 // ---------------------------------------------------------------------------
 
@@ -1137,6 +1250,36 @@ pub fn other(n: u8) -> u8 {
         assert_eq!(findings[0].line, 5);
         // The same file outside wire/serve is not dispatch code.
         assert!(check_one(&EnumWireDrift, "crates/core/src/report.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unbounded_stream_flags_undeadlined_endpoints() {
+        let src = "\
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+fn arm(stream: &TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(10)));
+}
+fn dial(addr: &str) -> std::io::Result<TcpStream> {
+    let stream = TcpStream::connect(addr)?;
+    arm(&stream);
+    Ok(stream)
+}
+fn dial_raw(addr: &str) -> std::io::Result<TcpStream> {
+    TcpStream::connect(addr)
+}
+fn accept_raw(listener: &TcpListener) {
+    let _ = listener.accept();
+}
+";
+        let findings = check_one(&UnboundedStreamInServe, "crates/core/src/serve.rs", src);
+        let lines: Vec<usize> = findings.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![13, 16], "{findings:?}");
+        assert!(findings[0].message.contains("dial_raw"));
+        // Deadlines reached transitively (dial → arm) satisfy the rule,
+        // and outside serve.rs it is silent.
+        assert!(check_one(&UnboundedStreamInServe, "crates/core/src/wire.rs", src).is_empty());
     }
 
     #[test]

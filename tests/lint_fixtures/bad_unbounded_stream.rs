@@ -1,0 +1,14 @@
+//~ as: crates/core/src/serve.rs
+// Known-bad fixture: socket endpoints opened with no reachable deadline.
+// Neither function arms set_read_timeout/set_write_timeout or calls a
+// helper that does, so a stalled peer parks the handler thread forever.
+use std::net::{TcpListener, TcpStream};
+
+pub fn dial(addr: &str) -> std::io::Result<TcpStream> {
+    TcpStream::connect(addr) //~ unbounded-stream-in-serve
+}
+
+pub fn accept_one(listener: &TcpListener) -> std::io::Result<TcpStream> {
+    let (stream, _) = listener.accept()?; //~ unbounded-stream-in-serve
+    Ok(stream)
+}

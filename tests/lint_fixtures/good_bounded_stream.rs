@@ -1,0 +1,24 @@
+//~ as: crates/core/src/serve.rs
+// Known-good fixture: every endpoint reaches a deadline-arming helper.
+// `apply_deadlines` arms both socket timeouts, and both openers call it
+// (the closure is reached transitively), so no endpoint is unbounded.
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+fn apply_deadlines(stream: &TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+    Ok(())
+}
+
+pub fn dial(addr: &str) -> std::io::Result<TcpStream> {
+    let stream = TcpStream::connect(addr)?;
+    apply_deadlines(&stream)?;
+    Ok(stream)
+}
+
+pub fn accept_one(listener: &TcpListener) -> std::io::Result<TcpStream> {
+    let (stream, _) = listener.accept()?;
+    apply_deadlines(&stream)?;
+    Ok(stream)
+}

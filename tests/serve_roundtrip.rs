@@ -48,6 +48,7 @@ fn spawn(workers: usize, dir: Option<std::path::PathBuf>) -> Server {
             dir,
             ..CacheConfig::default()
         },
+        ..ServeConfig::default()
     })
     .expect("spawn countd")
 }
@@ -100,9 +101,11 @@ fn served_bytes_equal_local_fresh_boot_at_1_and_4_workers() {
     }
 }
 
-/// The disk tier survives a server restart, and a corrupted entry is
-/// detected by its checksum, discarded, counted, and recomputed — never
-/// served.
+/// The disk tier survives a server restart, and a corrupted entry never
+/// reaches a client: the startup recovery scan checksums every entry and
+/// quarantines the damaged one before the server takes traffic, so the
+/// cell is simply recomputed. (The in-flight read-path defense — detect,
+/// count as `poisoned`, discard — is pinned by the serve unit tests.)
 #[test]
 fn poisoned_disk_entry_is_recomputed_not_served() {
     let dir = std::env::temp_dir().join(format!("countd-roundtrip-{}", std::process::id()));
@@ -132,6 +135,11 @@ fn poisoned_disk_entry_is_recomputed_not_served() {
     serve::corrupt_disk_entry(&entries[0]).expect("corrupt entry");
     let mut server = spawn(2, Some(dir.clone()));
     let addr = server.addr().to_string();
+    assert_eq!(
+        server.quarantined(),
+        1,
+        "the recovery scan quarantines the damaged entry before traffic"
+    );
     let (meta, body) =
         serve::request_grid_raw(&addr, &grid, Priority::Interactive).expect("request");
     assert_eq!(
@@ -139,9 +147,12 @@ fn poisoned_disk_entry_is_recomputed_not_served() {
         "a poisoned cache may cost time, never wrong bytes"
     );
     assert_eq!(meta.hits, cells - 1, "intact entries revive from disk");
-    assert_eq!(meta.misses, 1, "the poisoned cell is recomputed");
+    assert_eq!(meta.misses, 1, "the quarantined cell is recomputed");
     let stats = serve::request_stats(&addr).expect("stats");
-    assert_eq!(stats.poisoned, 1, "corruption is detected and counted");
+    assert_eq!(
+        stats.poisoned, 0,
+        "the scan caught the damage before the read path ever saw it"
+    );
     assert_eq!(stats.disk_hits, cells as u64 - 1);
     server.stop();
     let _ = std::fs::remove_dir_all(&dir);
